@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Table 1 demo: blocking vulnerable Redis commands stops their CVEs.
+
+Each simulated CVE lives in a specific command handler (STRALGO,
+SETRANGE, CONFIG).  Against the vanilla server the crafted exploit
+corrupts memory and kills the process; after DynaCut blocks the
+command, the same bytes produce an error reply and the server lives.
+
+Run:  python examples/cve_mitigation.py
+"""
+
+from repro import DynaCut, Kernel, TraceDiff, TrapPolicy
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.attacks import REDIS_CVES, attempt_cve
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+
+def block_command(kernel, server, spec):
+    """Profile and dynamically block the CVE's command feature."""
+    tracer = BlockTracer(kernel, server).attach()
+    client = RedisClient(kernel, REDIS_PORT)
+    for command in ("PING", "SET a 1", "GET a", "DEL a"):
+        client.command(command)
+    wanted = tracer.nudge_dump()
+    client.command(spec.benign_line)      # exercise the feature legitimately
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        spec.command, [wanted], [undesired]
+    )
+    dynacut = DynaCut(kernel)
+    dynacut.disable_feature(
+        server.pid, feature, policy=TrapPolicy.REDIRECT,
+        redirect_symbol="redis_unknown_cmd",
+    )
+    return dynacut.restored_process(server.pid)
+
+
+def main() -> None:
+    print(f"{'CVE':18s} {'command':9s} {'vanilla':22s} {'with DynaCut'}")
+    print("-" * 75)
+    for spec in REDIS_CVES:
+        # vanilla
+        kernel = Kernel()
+        server = stage_redis(kernel)
+        vanilla = attempt_cve(kernel, server, REDIS_PORT, spec)
+        vanilla_text = (
+            f"crashed ({vanilla.term_signal.name})" if vanilla.exploited
+            else "survived"
+        )
+
+        # customized
+        kernel = Kernel()
+        server = stage_redis(kernel)
+        server = block_command(kernel, server, spec)
+        blocked = attempt_cve(kernel, server, REDIS_PORT, spec)
+        blocked_text = (
+            f"mitigated: {blocked.response.decode().strip()!r}"
+            if blocked.mitigated else "STILL EXPLOITED"
+        )
+        print(f"{spec.cve:18s} {spec.command:9s} {vanilla_text:22s} "
+              f"{blocked_text}")
+
+    print("\nall five CVEs: exploitable on vanilla, mitigated under DynaCut")
+
+
+if __name__ == "__main__":
+    main()

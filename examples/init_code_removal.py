@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Init-code removal and attack-surface reduction on an Nginx-like server.
+
+Profiles the master/worker pair across its init/serving transition,
+wipes the initialization-only code (including the now-unneeded
+``fork`` PLT entry), and demonstrates the security consequence: a
+Blind-ROP attack that relies on crash-and-respawn stops working,
+because the master can no longer fork replacement workers.
+
+Run:  python examples/init_code_removal.py
+"""
+
+from repro import DynaCut, Kernel, init_only_blocks
+from repro.analysis import executed_plt_entries, plt_entries_in_blocks
+from repro.apps import NGINX_PORT, nginx_worker, stage_nginx
+from repro.apps.httpd_nginx import NGINX_BINARY, READY_LINE, WORKER_LINE
+from repro.attacks import run_brop
+from repro.tracing import BlockTracer, merge_traces
+from repro.workloads import HttpClient
+
+
+def profile(kernel):
+    master = stage_nginx(kernel, run_to_ready=False)
+    tracer_m = BlockTracer(kernel, master).attach()
+    kernel.run_until(lambda: READY_LINE in master.stdout_text(),
+                     max_instructions=8_000_000)
+    worker = nginx_worker(kernel, master)
+    tracer_w = BlockTracer(kernel, worker).attach()
+    kernel.run_until(lambda: WORKER_LINE in worker.stdout_text())
+
+    init = merge_traces([tracer_m.nudge_dump(), tracer_w.nudge_dump()])
+    client = HttpClient(kernel, NGINX_PORT)
+    for __ in range(3):
+        client.get("/")
+    client.head("/")
+    serving = merge_traces([tracer_m.finish(), tracer_w.finish()])
+    return master, init, serving
+
+
+def main() -> None:
+    # --- vanilla instance: BROP works because workers respawn
+    kernel = Kernel()
+    master, init, serving = profile(kernel)
+    brop = run_brop(kernel, master, NGINX_PORT)
+    print("vanilla Nginx-like server:")
+    print(f"  BROP probes survived : {brop.probes_sent} "
+          f"(workers respawned {brop.respawns_observed}x)")
+    print(f"  attack feasible      : {brop.feasible}")
+
+    # --- customized instance
+    kernel = Kernel()
+    master, init, serving = profile(kernel)
+    report = init_only_blocks(init, serving, NGINX_BINARY)
+    binary = kernel.binaries[NGINX_BINARY]
+    executed_plt = executed_plt_entries(binary, merge_traces([init, serving]))
+    removed_plt = plt_entries_in_blocks(binary, list(report.init_only))
+    print(f"\ninit-only code: {report.removable_count} blocks "
+          f"({report.removable_fraction:.0%} of executed)")
+    print(f"PLT entries executed: {len(executed_plt)}; removed with the "
+          f"init code: {len(removed_plt & executed_plt)}")
+    print(f"  removed entries include: "
+          f"{sorted(removed_plt & executed_plt)}")
+
+    dynacut = DynaCut(kernel)
+    rewrite = dynacut.remove_init_code(
+        master.pid, NGINX_BINARY, list(report.init_only), wipe=True
+    )
+    master = dynacut.restored_process(master.pid)
+    print(f"\nrewrite took {rewrite.total_ns / 1e6:.0f} virtual ms "
+          f"({rewrite.stats.blocks_patched} ranges wiped)")
+
+    client = HttpClient(kernel, NGINX_PORT)
+    print("GET / after removal ->", client.get("/").status)
+
+    brop = run_brop(kernel, master, NGINX_PORT)
+    print("\nDynaCut-customized server:")
+    print(f"  BROP probes survived : {brop.probes_sent} "
+          f"(workers respawned {brop.respawns_observed}x)")
+    print(f"  attack feasible      : {brop.feasible}")
+    print("\nthe master crashed on its wiped fork path after the first "
+          "probe, exactly as intended: no respawn, no brute force")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: dynamically disable and re-enable a Redis command.
+
+Boots the simulated machine, starts the Redis-like server, profiles
+wanted traffic vs the SET feature with the drcov tracer, then uses
+DynaCut to block SET at run time (clients get the server's own error
+reply), and finally re-enables it — all without dropping the client's
+TCP connection.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DynaCut, Kernel, TraceDiff, TrapPolicy
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+
+def main() -> None:
+    # 1. boot the machine and the server
+    kernel = Kernel()
+    server = stage_redis(kernel)
+    print(f"server up: pid={server.pid}")
+    print(server.stdout_text())
+
+    client = RedisClient(kernel, REDIS_PORT)
+
+    # 2. profile: wanted commands first, then the undesired feature
+    tracer = BlockTracer(kernel, server).attach()
+    for command in ("PING", "GET greeting", "DEL greeting", "DBSIZE"):
+        client.command(command)
+    wanted = tracer.nudge_dump()
+    client.command("SET greeting hello")
+    undesired = tracer.finish()
+
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        "SET", wanted=[wanted], undesired=[undesired]
+    )
+    print(f"\ntracediff: SET owns {feature.count} unique basic blocks, "
+          f"entry block at {feature.entry.offset:#x}")
+
+    # 3. disable the feature on the LIVE process (redirect policy: the
+    #    trap handler sends execution to the dispatcher's error arm)
+    dynacut = DynaCut(kernel)
+    report = dynacut.disable_feature(
+        server.pid, feature,
+        policy=TrapPolicy.REDIRECT,
+        redirect_symbol="redis_unknown_cmd",
+    )
+    server = dynacut.restored_process(server.pid)
+    print("\nrewrite cost (virtual ms):")
+    for phase, ms in report.breakdown_ms().items():
+        print(f"  {phase:25s} {ms:8.1f}")
+
+    print("\nwith SET disabled:")
+    print("  SET k v   ->", client.command("SET k v"))
+    print("  PING      ->", client.command("PING"))
+    print("  GET k     ->", client.command("GET k"))
+    assert server.alive, "the server survives blocked-feature accesses"
+
+    # 4. the scenario changed: re-enable SET
+    dynacut.enable_feature(server.pid, feature)
+    server = dynacut.restored_process(server.pid)
+    print("\nwith SET re-enabled:")
+    print("  SET k v   ->", client.command("SET k v"))
+    print("  GET k     ->", client.command("GET k"))
+    print("\ndone: same process, same connection, feature toggled twice")
+
+
+if __name__ == "__main__":
+    main()

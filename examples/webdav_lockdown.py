@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""WebDAV lockdown: the paper's Figure 10 administration scenario.
+
+A Lighttpd-like server serves read-only pages.  After initialization,
+DynaCut (1) wipes the initialization-only code and (2) locks the
+WebDAV write methods — inadvertent PUT/DELETE requests get a 403 from
+the server's own error handler.  Later, an administrator opens a short
+maintenance window, uploads a file, and locks writes again.
+
+Run:  python examples/webdav_lockdown.py
+"""
+
+from repro import DynaCut, Kernel, TraceDiff, TrapPolicy, init_only_blocks
+from repro.apps import LIGHTTPD_PORT, stage_lighttpd
+from repro.apps.httpd_lighttpd import FORBIDDEN_SYMBOL, LIGHTTPD_BINARY, READY_LINE
+from repro.core import BlockMode
+from repro.tracing import BlockTracer, merge_traces
+from repro.workloads import HttpClient
+
+
+def main() -> None:
+    kernel = Kernel()
+    server = stage_lighttpd(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, server).attach()
+    kernel.run_until(lambda: READY_LINE in server.stdout_text())
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+
+    # profile three phases: init | read-only traffic | webdav writes
+    init_trace = tracer.nudge_dump()
+    for __ in range(3):
+        client.get("/")
+    client.head("/")
+    client.options("/")
+    client.post("/echo", "sample")
+    readonly_trace = tracer.nudge_dump()
+    client.put("/probe.txt", "probe")
+    client.delete("/probe.txt")
+    dav_trace = tracer.finish()
+
+    init_report = init_only_blocks(
+        init_trace, merge_traces([readonly_trace, dav_trace]), LIGHTTPD_BINARY
+    )
+    dav = TraceDiff(LIGHTTPD_BINARY).feature_blocks(
+        "webdav-write", [readonly_trace], [dav_trace]
+    )
+    print(f"init-only code : {init_report.removable_count} blocks, "
+          f"{init_report.removable_bytes()} bytes "
+          f"({init_report.removable_fraction:.0%} of executed blocks)")
+    print(f"webdav feature : {dav.count} unique blocks")
+
+    dynacut = DynaCut(kernel)
+
+    # lock down: drop init code, block writes
+    dynacut.remove_init_code(
+        server.pid, LIGHTTPD_BINARY, list(init_report.init_only), wipe=True
+    )
+    server = dynacut.restored_process(server.pid)
+    dynacut.disable_feature(
+        server.pid, dav, policy=TrapPolicy.REDIRECT, mode=BlockMode.ENTRY,
+        redirect_symbol=FORBIDDEN_SYMBOL,
+    )
+    server = dynacut.restored_process(server.pid)
+
+    print("\nlocked down:")
+    print("  GET /        ->", client.get("/").status)
+    print("  PUT /f.txt   ->", client.put("/f.txt", "nope").status)
+
+    # maintenance window
+    print("\nmaintenance window opens...")
+    dynacut.enable_feature(server.pid, dav)
+    server = dynacut.restored_process(server.pid)
+    print("  PUT /notice.html ->",
+          client.put("/notice.html", "<p>maintenance done</p>").status)
+
+    dynacut.disable_feature(
+        server.pid, dav, policy=TrapPolicy.REDIRECT, mode=BlockMode.ENTRY,
+        redirect_symbol=FORBIDDEN_SYMBOL,
+    )
+    server = dynacut.restored_process(server.pid)
+    print("maintenance window closed")
+
+    print("\nafter the window:")
+    print("  GET /notice.html ->", client.get("/notice.html").status,
+          client.get("/notice.html").body.decode())
+    print("  PUT /other.txt   ->", client.put("/other.txt", "x").status)
+    print(f"\n{len(dynacut.history)} rewrites, server pid {server.pid} "
+          f"alive the whole time: {server.alive}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""DynaCut reproduction: dynamic and adaptive program customization.
+
+The package is layered bottom-up:
+
+* :mod:`repro.isa`, :mod:`repro.binfmt`, :mod:`repro.minic` — the
+  toolchain (VM64 ISA, SELF binaries, the MiniC compiler);
+* :mod:`repro.kernel` — the simulated OS guest programs run on;
+* :mod:`repro.apps` — guest applications (web servers, key-value
+  store, SPEC-like suite) plus the guest libc;
+* :mod:`repro.tracing`, :mod:`repro.analysis`, :mod:`repro.criu` —
+  the drcov tracer, static CFG recovery, and checkpoint/restore;
+* :mod:`repro.core` — DynaCut itself: tracediff, init-phase
+  identification, the process rewriter, trap policies, baselines;
+* :mod:`repro.workloads`, :mod:`repro.attacks` — evaluation drivers.
+
+Quickstart::
+
+    from repro import Kernel, DynaCut, TraceDiff, TrapPolicy
+    from repro.apps import stage_lighttpd
+
+    kernel = Kernel()
+    server = stage_lighttpd(kernel)
+    ...  # trace wanted/undesired requests (see examples/quickstart.py)
+    DynaCut(kernel).disable_feature(server.pid, feature,
+                                    policy=TrapPolicy.REDIRECT,
+                                    redirect_symbol="http_forbidden_entry")
+"""
+
+from .kernel import Kernel, KernelConfig, Signal
+from .tracing import BlockTracer, CoverageTrace, merge_traces
+from .core import (
+    BlockMode,
+    CoverageGraph,
+    DynaCut,
+    FeatureBlocks,
+    ImageRewriter,
+    TraceDiff,
+    TrapPolicy,
+    chisel_debloat,
+    init_only_blocks,
+    razor_debloat,
+    read_verifier_log,
+    tracediff,
+)
+from .criu import checkpoint_tree, restore_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockMode",
+    "BlockTracer",
+    "CoverageGraph",
+    "CoverageTrace",
+    "DynaCut",
+    "FeatureBlocks",
+    "ImageRewriter",
+    "Kernel",
+    "KernelConfig",
+    "Signal",
+    "TraceDiff",
+    "TrapPolicy",
+    "checkpoint_tree",
+    "chisel_debloat",
+    "init_only_blocks",
+    "merge_traces",
+    "razor_debloat",
+    "read_verifier_log",
+    "restore_tree",
+    "tracediff",
+    "__version__",
+]

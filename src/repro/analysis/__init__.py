@@ -1,0 +1,15 @@
+"""Static binary analysis: CFG recovery and basic-block discovery."""
+
+from .cfg import BasicBlock, CfgBuilder, ControlFlowGraph, build_cfg, total_basic_blocks
+from .plt import executed_plt_entries, plt_entries_in_blocks, plt_entry_at
+
+__all__ = [
+    "BasicBlock",
+    "CfgBuilder",
+    "ControlFlowGraph",
+    "build_cfg",
+    "executed_plt_entries",
+    "plt_entries_in_blocks",
+    "plt_entry_at",
+    "total_basic_blocks",
+]

@@ -1,0 +1,189 @@
+"""Static basic-block discovery over SELF images (the Angr stand-in).
+
+Figure 9's "total number of basic blocks" row comes from static
+analysis, not traces.  This module recovers a conservative CFG with the
+classic recursive-descent recipe:
+
+1. seed the worklist with the entry point, every function symbol, and
+   every PLT stub;
+2. linearly decode from each seed, collecting **leaders**: branch
+   targets, fall-through successors of conditional branches, and
+   call-return sites;
+3. iterate to a fixpoint, then cut blocks at leaders and terminators.
+
+Indirect jumps/calls (``jmpr``/``callr``) end a block without adding
+targets — the sound-but-incomplete behaviour real binary CFG recovery
+has, which is why symbol seeds matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binfmt.self_format import SelfImage
+from ..isa.disassembler import DecodedInstruction, disassemble_one
+from ..isa.encoding import DecodeError
+
+
+@dataclass(frozen=True, order=True)
+class BasicBlock:
+    """A static basic block: [start, start+size) within the image."""
+
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+@dataclass
+class ControlFlowGraph:
+    """Recovered blocks plus edges between block start addresses."""
+
+    image_name: str
+    blocks: list[BasicBlock] = field(default_factory=list)
+    edges: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def block_at(self, address: int) -> BasicBlock | None:
+        for block in self.blocks:
+            if block.start <= address < block.end:
+                return block
+        return None
+
+    def block_starts(self) -> set[int]:
+        return {b.start for b in self.blocks}
+
+
+class CfgBuilder:
+    """Recovers the static CFG of one SELF image."""
+
+    def __init__(self, image: SelfImage):
+        self.image = image
+        self._regions: list[tuple[int, int, bytes]] = []
+        for seg in image.segments:
+            if seg.name in ("text", "plt") and seg.data:
+                self._regions.append((seg.vaddr, seg.vaddr + len(seg.data), seg.data))
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> ControlFlowGraph:
+        seeds = self._seeds()
+        leaders, terminator_ends = self._discover(seeds)
+        blocks, edges = self._cut_blocks(leaders, terminator_ends)
+        return ControlFlowGraph(self.image.name, blocks, edges)
+
+    # ------------------------------------------------------------------
+
+    def _seeds(self) -> set[int]:
+        seeds: set[int] = set()
+        if self.image.entry:
+            seeds.add(self.image.entry)
+        for sym in self.image.symbols.values():
+            if sym.is_function and self._region_of(sym.vaddr) is not None:
+                seeds.add(sym.vaddr)
+        for stub in self.image.plt_entries.values():
+            seeds.add(stub)
+        return seeds
+
+    def _region_of(self, address: int) -> tuple[int, int, bytes] | None:
+        for start, end, data in self._regions:
+            if start <= address < end:
+                return start, end, data
+        return None
+
+    def _decode_at(self, address: int) -> DecodedInstruction | None:
+        region = self._region_of(address)
+        if region is None:
+            return None
+        start, end, data = region
+        try:
+            decoded = disassemble_one(data, address, base=start)
+        except DecodeError:
+            return None
+        if decoded.end > end:
+            return None
+        return decoded
+
+    def _discover(self, seeds: set[int]) -> tuple[set[int], set[int]]:
+        """Walk from seeds, returning (leaders, addresses-after-terminators)."""
+        leaders = set(seeds)
+        terminator_ends: set[int] = set()
+        visited: set[int] = set()
+        worklist = list(seeds)
+        while worklist:
+            address = worklist.pop()
+            while address not in visited:
+                visited.add(address)
+                decoded = self._decode_at(address)
+                if decoded is None:
+                    break
+                mnemonic = decoded.mnemonic
+                target = decoded.branch_target()
+                if target is not None and self._region_of(target) is not None:
+                    if target not in leaders:
+                        leaders.add(target)
+                        worklist.append(target)
+                    elif target not in visited:
+                        worklist.append(target)
+                if decoded.is_terminator():
+                    terminator_ends.add(decoded.end)
+                    # conditional branches and calls fall through
+                    if decoded.is_conditional() or mnemonic in ("call", "callr"):
+                        if decoded.end not in leaders:
+                            leaders.add(decoded.end)
+                            worklist.append(decoded.end)
+                        address = decoded.end
+                        continue
+                    break
+                address = decoded.end
+        return leaders, terminator_ends
+
+    def _cut_blocks(
+        self, leaders: set[int], terminator_ends: set[int]
+    ) -> tuple[list[BasicBlock], dict[int, tuple[int, ...]]]:
+        blocks: list[BasicBlock] = []
+        edges: dict[int, tuple[int, ...]] = {}
+        for leader in sorted(leaders):
+            if self._region_of(leader) is None:
+                continue
+            address = leader
+            successors: list[int] = []
+            while True:
+                decoded = self._decode_at(address)
+                if decoded is None:
+                    break
+                end = decoded.end
+                if decoded.is_terminator():
+                    target = decoded.branch_target()
+                    if target is not None:
+                        successors.append(target)
+                    if decoded.is_conditional() or decoded.mnemonic in (
+                        "call", "callr",
+                    ):
+                        successors.append(end)
+                    address = end
+                    break
+                if end in leaders:
+                    successors.append(end)
+                    address = end
+                    break
+                address = end
+            if address > leader:
+                blocks.append(BasicBlock(leader, address - leader))
+                edges[leader] = tuple(successors)
+        return blocks, edges
+
+
+def build_cfg(image: SelfImage) -> ControlFlowGraph:
+    """Recover the static CFG of ``image``."""
+    return CfgBuilder(image).build()
+
+
+def total_basic_blocks(image: SelfImage) -> int:
+    """Figure 9's "total BB" metric for one binary."""
+    return build_cfg(image).block_count

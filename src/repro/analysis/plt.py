@@ -1,0 +1,40 @@
+"""PLT-entry analysis (the ret2plt / BROP attack-surface metric).
+
+The paper counts how many *executed* PLT entries DynaCut removes after
+initialization (43/56 for Nginx, 33/57 for Lighttpd) and argues the
+removal defeats ret2plt and BROP.  These helpers map basic blocks to
+PLT stubs and back.
+"""
+
+from __future__ import annotations
+
+from ..binfmt.linker import PLT_STUB_SIZE
+from ..binfmt.self_format import SelfImage
+from ..tracing.drcov import BlockRecord, CoverageTrace
+
+
+def plt_entry_at(image: SelfImage, offset: int) -> str | None:
+    """Name of the PLT entry whose stub contains ``offset``."""
+    for name, stub in image.plt_entries.items():
+        if stub <= offset < stub + PLT_STUB_SIZE:
+            return name
+    return None
+
+
+def plt_entries_in_blocks(
+    image: SelfImage, blocks: list[BlockRecord] | tuple[BlockRecord, ...]
+) -> set[str]:
+    """PLT entries whose stub is covered by any of ``blocks``."""
+    out: set[str] = set()
+    for block in blocks:
+        for name, stub in image.plt_entries.items():
+            if block.offset < stub + PLT_STUB_SIZE and stub < block.offset + block.size:
+                out.add(name)
+    return out
+
+
+def executed_plt_entries(image: SelfImage, trace: CoverageTrace) -> set[str]:
+    """PLT entries executed in ``trace`` (module-filtered to the image)."""
+    return plt_entries_in_blocks(
+        image, list(trace.module_blocks(image.name))
+    )

@@ -1,0 +1,314 @@
+"""Guest libc: the shared library every application links against.
+
+Built as a SELF shared object (``libc.so``).  Applications import these
+functions through PLT stubs, which is what makes the paper's PLT-entry
+analysis meaningful: DynaCut counts *executed* PLT entries per phase
+and disables the ones (``fork``, ``execve``, ...) not used after
+initialization.
+
+The library is MiniC except for the 9-byte ``rt_sigreturn`` trampoline
+(``__restore_rt``), which must run with a raw stack pointer and is
+therefore hand-written assembly — mirroring glibc, where the restorer
+is an assembly stub too.
+"""
+
+from __future__ import annotations
+
+from ..binfmt.linker import link_shared
+from ..binfmt.self_format import SelfImage
+from ..isa.assembler import assemble
+from ..minic.codegen import compile_source
+
+LIBC_NAME = "libc.so"
+
+#: system call numbers, kept in sync with repro.kernel.syscalls.Sys
+_SYS = """
+const SYS_EXIT = 1;
+const SYS_WRITE = 2;
+const SYS_READ = 3;
+const SYS_OPEN = 4;
+const SYS_CLOSE = 5;
+const SYS_SOCKET = 6;
+const SYS_BIND = 7;
+const SYS_LISTEN = 8;
+const SYS_ACCEPT = 9;
+const SYS_SEND = 10;
+const SYS_RECV = 11;
+const SYS_FORK = 12;
+const SYS_GETPID = 13;
+const SYS_MMAP = 14;
+const SYS_MUNMAP = 15;
+const SYS_SIGACTION = 16;
+const SYS_NANOSLEEP = 18;
+const SYS_KILL = 21;
+const SYS_WAITPID = 22;
+const SYS_CLOCK_GETTIME = 23;
+const SYS_UNLINK = 24;
+const SYS_EXECVE = 25;
+const SYS_GETPPID = 26;
+const SYS_POLL = 28;
+const SYS_MPROTECT = 29;
+"""
+
+LIBC_SOURCE = _SYS + r"""
+extern func __restore_rt;
+
+// ---------------------------------------------------------------- syscalls
+
+func exit(code) { syscall(SYS_EXIT, code); return 0; }
+func write(fd, buf, len) { return syscall(SYS_WRITE, fd, buf, len); }
+func read(fd, buf, len) { return syscall(SYS_READ, fd, buf, len); }
+func open(path, flags) { return syscall(SYS_OPEN, path, flags); }
+func close(fd) { return syscall(SYS_CLOSE, fd); }
+func unlink(path) { return syscall(SYS_UNLINK, path); }
+func socket() { return syscall(SYS_SOCKET); }
+func bind(fd, port) { return syscall(SYS_BIND, fd, port); }
+func listen(fd, backlog) { return syscall(SYS_LISTEN, fd, backlog); }
+func accept(fd) { return syscall(SYS_ACCEPT, fd); }
+func send(fd, buf, len) { return syscall(SYS_SEND, fd, buf, len); }
+func recv(fd, buf, len) { return syscall(SYS_RECV, fd, buf, len); }
+func fork() { return syscall(SYS_FORK); }
+func getpid() { return syscall(SYS_GETPID); }
+func getppid() { return syscall(SYS_GETPPID); }
+func waitpid(pid) { return syscall(SYS_WAITPID, pid); }
+func kill(pid, sig) { return syscall(SYS_KILL, pid, sig); }
+func execve(path) { return syscall(SYS_EXECVE, path); }
+func mmap(addr, len, prot) { return syscall(SYS_MMAP, addr, len, prot); }
+func munmap(addr, len) { return syscall(SYS_MUNMAP, addr, len); }
+func mprotect(addr, len, prot) { return syscall(SYS_MPROTECT, addr, len, prot); }
+func poll(fds, count) { return syscall(SYS_POLL, fds, count); }
+func clock_ns() { return syscall(SYS_CLOCK_GETTIME); }
+func clock_ms() { return syscall(SYS_CLOCK_GETTIME) / 1000000; }
+func sleep_ms(ms) { return syscall(SYS_NANOSLEEP, ms * 1000000); }
+
+func sigaction(sig, handler) {
+    return syscall(SYS_SIGACTION, sig, handler, __restore_rt);
+}
+
+// ---------------------------------------------------------------- strings
+
+func strlen(s) {
+    var n = 0;
+    while (load8(s + n) != 0) { n = n + 1; }
+    return n;
+}
+
+func strcmp(a, b) {
+    var i = 0;
+    while (1) {
+        var ca = load8(a + i);
+        var cb = load8(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+func strncmp(a, b, n) {
+    var i = 0;
+    while (i < n) {
+        var ca = load8(a + i);
+        var cb = load8(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+func strcpy(dst, src) {
+    var i = 0;
+    while (1) {
+        var c = load8(src + i);
+        store8(dst + i, c);
+        if (c == 0) { return dst; }
+        i = i + 1;
+    }
+    return dst;
+}
+
+func strcat(dst, src) {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+func memcpy(dst, src, n) {
+    var i = 0;
+    while (i < n) {
+        store8(dst + i, load8(src + i));
+        i = i + 1;
+    }
+    return dst;
+}
+
+func memset(dst, value, n) {
+    var i = 0;
+    while (i < n) {
+        store8(dst + i, value);
+        i = i + 1;
+    }
+    return dst;
+}
+
+func memcmp(a, b, n) {
+    var i = 0;
+    while (i < n) {
+        var d = load8(a + i) - load8(b + i);
+        if (d != 0) { return d; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+// index of first occurrence of byte c in s, or -1
+func strchr_idx(s, c) {
+    var i = 0;
+    while (1) {
+        var ch = load8(s + i);
+        if (ch == c) { return i; }
+        if (ch == 0) { return -1; }
+        i = i + 1;
+    }
+    return -1;
+}
+
+func starts_with(s, prefix) {
+    var n = strlen(prefix);
+    if (strncmp(s, prefix, n) == 0) { return 1; }
+    return 0;
+}
+
+// ---------------------------------------------------------------- numbers
+
+func atoi(s) {
+    var i = 0;
+    var sign = 1;
+    var value = 0;
+    if (load8(s) == '-') { sign = -1; i = 1; }
+    while (1) {
+        var c = load8(s + i);
+        if (c < '0' || c > '9') { break; }
+        value = value * 10 + (c - '0');
+        i = i + 1;
+    }
+    return value * sign;
+}
+
+// write decimal representation of n into buf; returns length
+func itoa(n, buf) {
+    var len = 0;
+    var neg = 0;
+    if (n < 0) { neg = 1; n = -n; }
+    var tmp[32];
+    var t = 0;
+    if (n == 0) { tmp[0] = '0'; t = 1; }
+    while (n > 0) {
+        tmp[t] = '0' + n % 10;
+        n = n / 10;
+        t = t + 1;
+    }
+    if (neg) { buf[len] = '-'; len = len + 1; }
+    while (t > 0) {
+        t = t - 1;
+        buf[len] = tmp[t];
+        len = len + 1;
+    }
+    buf[len] = 0;
+    return len;
+}
+
+// ---------------------------------------------------------------- stdio
+
+func print(s) { return write(1, s, strlen(s)); }
+
+func println(s) {
+    write(1, s, strlen(s));
+    var nl[2];
+    nl[0] = 10;
+    return write(1, nl, 1);
+}
+
+func print_num(n) {
+    var buf[32];
+    var len = itoa(n, buf);
+    return write(1, buf, len);
+}
+
+// ---------------------------------------------------------------- malloc
+
+var __heap_base = 0;
+var __heap_cursor = 0;
+var __heap_end = 0;
+const HEAP_CHUNK = 262144;
+
+func malloc(n) {
+    n = (n + 15) / 16 * 16;
+    if (__heap_cursor + n > __heap_end) {
+        var want = HEAP_CHUNK;
+        if (n > want) { want = (n + 4095) / 4096 * 4096; }
+        var chunk = mmap(0, want, 3);
+        if (chunk < 0) { return 0; }
+        __heap_base = chunk;
+        __heap_cursor = chunk;
+        __heap_end = chunk + want;
+    }
+    var p = __heap_cursor;
+    __heap_cursor = __heap_cursor + n;
+    return p;
+}
+
+func free(p) { return 0; }   // bump allocator: free is a no-op
+
+// ---------------------------------------------------------------- misc
+
+var __rand_state = 88172645463325252;
+
+func srand(seed) {
+    if (seed == 0) { seed = 1; }
+    __rand_state = seed;
+    return 0;
+}
+
+// xorshift64 PRNG; returns a non-negative value
+func rand_next() {
+    var x = __rand_state;
+    x = x ^ (x << 13);
+    x = x ^ (x >> 7);
+    x = x ^ (x << 17);
+    __rand_state = x;
+    var v = x & 0x7fffffffffffffff;
+    return v;
+}
+"""
+
+#: the rt_sigreturn trampoline: handlers RET here with sp at the sigframe
+RESTORER_ASM = """
+.section text
+.global __restore_rt
+__restore_rt:
+    mov r1, sp
+    movi r0, 17        ; SYS_SIGRETURN
+    syscall
+    int3               ; never reached
+"""
+
+
+def build_libc() -> SelfImage:
+    """Compile and link the guest libc shared object."""
+    main_module = compile_source(LIBC_SOURCE, "libc.o", entry=False)
+    restorer_module = assemble(RESTORER_ASM, "sigrestore.o")
+    return link_shared([main_module, restorer_module], LIBC_NAME)
+
+
+#: names applications typically import (used by tests and docs)
+LIBC_EXPORTS = (
+    "exit", "write", "read", "open", "close", "unlink",
+    "socket", "bind", "listen", "accept", "send", "recv",
+    "fork", "getpid", "getppid", "waitpid", "kill", "execve",
+    "mmap", "munmap", "mprotect", "poll", "clock_ns", "clock_ms", "sleep_ms",
+    "sigaction", "strlen", "strcmp", "strncmp", "strcpy", "strcat",
+    "memcpy", "memset", "memcmp", "strchr_idx", "starts_with",
+    "atoi", "itoa", "print", "println", "print_num",
+    "malloc", "free", "srand", "rand_next",
+)

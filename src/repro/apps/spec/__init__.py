@@ -1,0 +1,20 @@
+"""SPEC-INTspeed-like benchmark suite (seven C/C++-style programs)."""
+
+from .common import (
+    INIT_DONE_LINE,
+    RESULT_PREFIX,
+    SpecBenchmark,
+    benchmark_names,
+    get_benchmark,
+)
+
+# importing the modules registers each benchmark
+from . import perlbench, mcf, omnetpp, xalancbmk, x264, deepsjeng, leela  # noqa: F401, E402
+
+__all__ = [
+    "INIT_DONE_LINE",
+    "RESULT_PREFIX",
+    "SpecBenchmark",
+    "benchmark_names",
+    "get_benchmark",
+]

@@ -1,0 +1,143 @@
+"""Shared scaffolding for the SPEC-INTspeed-like benchmark programs.
+
+Every benchmark follows the same lifecycle the paper's Figure 7/9
+experiments rely on:
+
+* a **setup phase** made of many small, distinct functions (table
+  builders, config parsers) that run exactly once — these are the
+  init-only basic blocks DynaCut removes;
+* an ``init complete`` line on stdout — the observable transition point
+  the profiler nudges at;
+* a long-running **compute phase** whose iteration count comes from
+  ``argv[1]``, so experiments can keep the process alive while it is
+  checkpointed and rewritten;
+* a final ``result <checksum>`` line, letting tests verify that the
+  computation still produces the right answer after init-code removal;
+* some never-called code (debug dumps, alternate modes) so the static
+  CFG contains genuinely unused blocks (the gray regions of Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...binfmt.linker import link_executable
+from ...binfmt.self_format import SelfImage
+from ...minic.codegen import compile_source
+
+INIT_DONE_LINE = "init complete"
+RESULT_PREFIX = "result "
+
+#: externs every benchmark imports
+COMMON_EXTERNS = """
+extern func exit;
+extern func print;
+extern func println;
+extern func print_num;
+extern func strlen;
+extern func strcmp;
+extern func strcpy;
+extern func memcpy;
+extern func memset;
+extern func atoi;
+extern func itoa;
+extern func srand;
+extern func rand_next;
+"""
+
+#: shared epilogue helpers (each benchmark gets its own copy, like
+#: statically inlined runtime support in real SPEC builds)
+RUNTIME_HELPERS = r"""
+func announce_init_done() {
+    println("init complete");
+    return 0;
+}
+
+func report_result(checksum) {
+    print("result ");
+    print_num(checksum);
+    println("");
+    return 0;
+}
+
+func parse_iterations(argc, argv, fallback) {
+    if (argc < 2) { return fallback; }
+    var n = atoi(load64(argv + 8));
+    if (n <= 0) { return fallback; }
+    return n;
+}
+"""
+
+
+def generate_table_init(prefix: str, count: int, table: str, stride: int) -> str:
+    """Emit ``count`` distinct init functions, each filling one slice of
+    ``table``, plus a driver that calls them all.
+
+    Real SPEC programs burn thousands of init-only basic blocks building
+    lookup tables; this generates the same *code shape* (many small
+    functions, each a handful of blocks) at a tractable scale.
+    """
+    functions = []
+    calls = []
+    for index in range(count):
+        base = index * stride
+        # vary the fill expression so the functions are not clones
+        mix = (index * 7 + 3) % 13 + 1
+        functions.append(
+            f"""
+func {prefix}_init_{index}() {{
+    var i = 0;
+    while (i < {stride}) {{
+        {table}[{base} + i] = (i * {mix} + {index}) & 255;
+        i = i + 1;
+    }}
+    return {index};
+}}
+"""
+        )
+        calls.append(f"    {prefix}_init_{index}();")
+    driver = (
+        f"\nfunc {prefix}_init_tables() {{\n" + "\n".join(calls) + "\n    return 0;\n}\n"
+    )
+    return "".join(functions) + driver
+
+
+@dataclass(frozen=True)
+class SpecBenchmark:
+    """One SPEC-like benchmark program."""
+
+    name: str                    # paper-style name, e.g. "600.perlbench_s"
+    binary: str                  # binary/registry name, e.g. "perlbench_s"
+    source: str                  # full MiniC source
+    default_iterations: int      # compute-loop iterations when argv has none
+
+    def build(self, libc: SelfImage) -> SelfImage:
+        module = compile_source(self.source, self.binary + ".o", entry=True)
+        return link_executable([module], self.binary, libraries=[libc])
+
+
+_REGISTRY: dict[str, Callable[[], SpecBenchmark]] = {}
+
+
+def register(name: str):
+    """Decorator: register a zero-arg benchmark factory under ``name``."""
+
+    def wrap(factory: Callable[[], SpecBenchmark]):
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def benchmark_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> SpecBenchmark:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None

@@ -1,0 +1,121 @@
+"""631.deepsjeng_s-like: alpha-beta game-tree search.
+
+Real deepsjeng is a chess engine; the analogue searches a deterministic
+two-player take-away game with negamax + alpha-beta over hashed
+positions, with zobrist-style tables built during init.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    COMMON_EXTERNS,
+    RUNTIME_HELPERS,
+    SpecBenchmark,
+    generate_table_init,
+    register,
+)
+
+_INIT_TABLES = generate_table_init("ds_zobrist", 10, "ds_tbl_zobrist", 32)
+
+_SOURCE = COMMON_EXTERNS + r"""
+var ds_tbl_zobrist[320];
+var ds_nodes = 0;
+
+""" + _INIT_TABLES + r"""
+
+func ds_hash_position(stones, turn) {
+    var h = ds_tbl_zobrist[stones % 320];
+    h = (h * 31 + ds_tbl_zobrist[(stones * 7 + turn) % 320]) & 0xffffff;
+    return h;
+}
+
+func ds_evaluate(stones, turn) {
+    // heuristic: positions ≡ 0 mod 4 lose for the side to move
+    var score = (stones % 4) * 25 - 30;
+    score = score + (ds_hash_position(stones, turn) & 7);
+    if (turn) { return -score; }
+    return score;
+}
+
+// moves: take 1, 2 or 3 stones
+func ds_negamax(stones, depth, alpha, beta, turn) {
+    ds_nodes = ds_nodes + 1;
+    if (stones == 0) { return -100; }      // side to move already lost
+    if (depth == 0) { return ds_evaluate(stones, turn); }
+    var best = -1000;
+    var take = 1;
+    while (take <= 3) {
+        if (take <= stones) {
+            var score = -ds_negamax(stones - take, depth - 1, -beta, -alpha,
+                                    1 - turn);
+            if (score > best) { best = score; }
+            if (best > alpha) { alpha = best; }
+            if (alpha >= beta) { break; }  // beta cutoff
+        }
+        take = take + 1;
+    }
+    return best;
+}
+
+// never executed: opening-book probe
+func ds_probe_book(stones) {
+    if (stones == 21) { return 1; }
+    if (stones == 34) { return 2; }
+    return 0;
+}
+
+// never executed: perft-style move counting
+func ds_perft(stones, depth) {
+    if (depth == 0 || stones == 0) { return 1; }
+    var total = 0;
+    var take = 1;
+    while (take <= 3) {
+        if (take <= stones) { total = total + ds_perft(stones - take, depth - 1); }
+        take = take + 1;
+    }
+    return total;
+}
+
+func ds_search_root(stones) {
+    ds_nodes = 0;
+    var best_move = 0;
+    var best_score = -1000;
+    var take = 1;
+    while (take <= 3) {
+        if (take <= stones) {
+            var score = -ds_negamax(stones - take, 6, -1000, 1000, 1);
+            if (score > best_score) {
+                best_score = score;
+                best_move = take;
+            }
+        }
+        take = take + 1;
+    }
+    return best_move * 10000 + (best_score & 255) * 16 + (ds_nodes & 15);
+}
+
+func main(argc, argv) {
+    ds_zobrist_init_tables();
+    announce_init_done();
+
+    var iters = parse_iterations(argc, argv, 4);
+    var checksum = 0;
+    var i = 0;
+    while (i < iters) {
+        checksum = (checksum + ds_search_root(20 + i % 12)) & 0xffffffff;
+        i = i + 1;
+    }
+    report_result(checksum);
+    return 0;
+}
+""" + RUNTIME_HELPERS
+
+
+@register("631.deepsjeng_s")
+def deepsjeng() -> SpecBenchmark:
+    return SpecBenchmark(
+        name="631.deepsjeng_s",
+        binary="deepsjeng_s",
+        source=_SOURCE,
+        default_iterations=4,
+    )

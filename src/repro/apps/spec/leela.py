@@ -1,0 +1,139 @@
+"""641.leela_s-like: Monte-Carlo tree-search playouts.
+
+Real leela plays Go with MCTS; the analogue runs random playouts on a
+7x7 board with liberty-style counting, neighbour tables built at init,
+and a win-rate accumulator.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    COMMON_EXTERNS,
+    RUNTIME_HELPERS,
+    SpecBenchmark,
+    generate_table_init,
+    register,
+)
+
+_INIT_TABLES = generate_table_init("ll_pattern", 8, "ll_tbl_pattern", 32)
+
+_SOURCE = COMMON_EXTERNS + r"""
+const BSIZE = 7;
+const BCELLS = 49;
+
+var ll_tbl_pattern[256];
+var ll_board[64];
+var ll_neighbors[256];       // 4 per cell
+var ll_wins = 0;
+var ll_playouts = 0;
+
+""" + _INIT_TABLES + r"""
+
+func ll_build_neighbors() {
+    var cell = 0;
+    while (cell < BCELLS) {
+        var row = cell / BSIZE;
+        var col = cell % BSIZE;
+        var base = cell * 4;
+        ll_neighbors[base] = 255;
+        ll_neighbors[base + 1] = 255;
+        ll_neighbors[base + 2] = 255;
+        ll_neighbors[base + 3] = 255;
+        if (row > 0) { ll_neighbors[base] = cell - BSIZE; }
+        if (row < BSIZE - 1) { ll_neighbors[base + 1] = cell + BSIZE; }
+        if (col > 0) { ll_neighbors[base + 2] = cell - 1; }
+        if (col < BSIZE - 1) { ll_neighbors[base + 3] = cell + 1; }
+        cell = cell + 1;
+    }
+    return 0;
+}
+
+func ll_clear_board() {
+    var i = 0;
+    while (i < BCELLS) { ll_board[i] = 0; i = i + 1; }
+    return 0;
+}
+
+func ll_count_liberties(cell) {
+    var libs = 0;
+    var n = 0;
+    while (n < 4) {
+        var nb = ll_neighbors[cell * 4 + n];
+        if (nb != 255) {
+            if (ll_board[nb] == 0) { libs = libs + 1; }
+        }
+        n = n + 1;
+    }
+    return libs;
+}
+
+// never executed: ladder reading
+func ll_read_ladder(cell, depth) {
+    if (depth == 0) { return 0; }
+    var libs = ll_count_liberties(cell);
+    if (libs >= 2) { return 0; }
+    return 1 + ll_read_ladder((cell + 1) % BCELLS, depth - 1);
+}
+
+// never executed: SGF game dump
+func ll_dump_sgf() {
+    var i = 0;
+    while (i < BCELLS) {
+        print_num(ll_board[i]);
+        i = i + 1;
+    }
+    println("");
+    return 0;
+}
+
+func ll_playout() {
+    ll_clear_board();
+    var color = 1;
+    var moves = 0;
+    var score = 0;
+    while (moves < 40) {
+        var cell = rand_next() % BCELLS;
+        if (ll_board[cell] == 0) {
+            var libs = ll_count_liberties(cell);
+            if (libs > 0) {
+                ll_board[cell] = color;
+                var pattern = ll_tbl_pattern[(cell * 3 + moves) % 256];
+                if (color == 1) { score = score + libs + (pattern & 3); }
+                else { score = score - libs - (pattern & 3); }
+                color = 3 - color;
+            }
+        }
+        moves = moves + 1;
+    }
+    ll_playouts = ll_playouts + 1;
+    if (score >= 0) { ll_wins = ll_wins + 1; return 1; }
+    return 0;
+}
+
+func main(argc, argv) {
+    ll_pattern_init_tables();
+    ll_build_neighbors();
+    srand(42);
+    announce_init_done();
+
+    var playouts = parse_iterations(argc, argv, 30);
+    var checksum = 0;
+    var i = 0;
+    while (i < playouts) {
+        checksum = checksum + ll_playout();
+        i = i + 1;
+    }
+    report_result(checksum * 1000 / (ll_playouts + 1));
+    return 0;
+}
+""" + RUNTIME_HELPERS
+
+
+@register("641.leela_s")
+def leela() -> SpecBenchmark:
+    return SpecBenchmark(
+        name="641.leela_s",
+        binary="leela_s",
+        source=_SOURCE,
+        default_iterations=30,
+    )

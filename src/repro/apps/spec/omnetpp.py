@@ -1,0 +1,210 @@
+"""620.omnetpp_s-like: discrete-event network simulation.
+
+Real omnetpp simulates an Ethernet network through a future-event set;
+this analogue keeps the skeleton: an event calendar (array-based
+priority queue), typed events dispatched through a switch, and handlers
+that schedule follow-up events.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    COMMON_EXTERNS,
+    RUNTIME_HELPERS,
+    SpecBenchmark,
+    generate_table_init,
+    register,
+)
+
+_INIT_TABLES = generate_table_init("om_topo", 6, "om_tbl_topology", 40)
+
+_SOURCE = COMMON_EXTERNS + r"""
+const QCAP = 64;
+const EV_SEND = 1;
+const EV_RECV = 2;
+const EV_ACK = 3;
+const EV_TIMEOUT = 4;
+
+var om_tbl_topology[240];
+
+var omq_time[512];           // QCAP u64 slots
+var omq_kind[512];
+var omq_node[512];
+var omq_len = 0;
+var om_now = 0;
+var om_stats_sent = 0;
+var om_stats_recv = 0;
+var om_stats_acked = 0;
+var om_stats_timeout = 0;
+
+""" + _INIT_TABLES + r"""
+
+func omq_push(time, kind, node) {
+    if (om_len_guard()) { return -1; }
+    var i = omq_len;
+    store64(omq_time + 8 * i, time);
+    store64(omq_kind + 8 * i, kind);
+    store64(omq_node + 8 * i, node);
+    omq_len = omq_len + 1;
+    // sift up (min-heap on time)
+    while (i > 0) {
+        var parent = (i - 1) / 2;
+        if (load64(omq_time + 8 * parent) <= load64(omq_time + 8 * i)) { break; }
+        omq_swap(i, parent);
+        i = parent;
+    }
+    return 0;
+}
+
+func om_len_guard() {
+    if (omq_len >= QCAP) { return 1; }
+    return 0;
+}
+
+func omq_swap(a, b) {
+    var t = load64(omq_time + 8 * a);
+    store64(omq_time + 8 * a, load64(omq_time + 8 * b));
+    store64(omq_time + 8 * b, t);
+    t = load64(omq_kind + 8 * a);
+    store64(omq_kind + 8 * a, load64(omq_kind + 8 * b));
+    store64(omq_kind + 8 * b, t);
+    t = load64(omq_node + 8 * a);
+    store64(omq_node + 8 * a, load64(omq_node + 8 * b));
+    store64(omq_node + 8 * b, t);
+    return 0;
+}
+
+func omq_pop() {
+    if (omq_len == 0) { return -1; }
+    omq_len = omq_len - 1;
+    omq_swap(0, omq_len);
+    // sift down
+    var i = 0;
+    while (1) {
+        var left = 2 * i + 1;
+        var right = 2 * i + 2;
+        var smallest = i;
+        if (left < omq_len) {
+            if (load64(omq_time + 8 * left) < load64(omq_time + 8 * smallest)) {
+                smallest = left;
+            }
+        }
+        if (right < omq_len) {
+            if (load64(omq_time + 8 * right) < load64(omq_time + 8 * smallest)) {
+                smallest = right;
+            }
+        }
+        if (smallest == i) { break; }
+        omq_swap(i, smallest);
+        i = smallest;
+    }
+    return omq_len;               // popped entry now lives at index omq_len
+}
+
+// ------------------------------------------------------------- handlers
+
+func om_handle_send(node, time) {
+    om_stats_sent = om_stats_sent + 1;
+    var hop = om_tbl_topology[node % 240];
+    omq_push(time + 2 + hop % 5, EV_RECV, (node + 1) % 8);
+    return 0;
+}
+
+func om_handle_recv(node, time) {
+    om_stats_recv = om_stats_recv + 1;
+    omq_push(time + 1, EV_ACK, node);
+    return 0;
+}
+
+func om_handle_ack(node, time) {
+    om_stats_acked = om_stats_acked + 1;
+    if (om_stats_acked % 7 == 3) {
+        omq_push(time + 9, EV_TIMEOUT, node);
+    }
+    return 0;
+}
+
+func om_handle_timeout(node, time) {
+    om_stats_timeout = om_stats_timeout + 1;
+    omq_push(time + 3, EV_SEND, (node + 3) % 8);
+    return 0;
+}
+
+// never executed: tracing mode
+func om_trace_event(kind, node, time) {
+    print("event kind=");
+    print_num(kind);
+    print(" node=");
+    print_num(node);
+    print(" t=");
+    print_num(time);
+    println("");
+    return 0;
+}
+
+func om_seed_events() {
+    var n = 0;
+    while (n < 8) {
+        omq_push(n, EV_SEND, n);
+        n = n + 1;
+    }
+    return 0;
+}
+
+func om_run(max_events) {
+    var processed = 0;
+    while (processed < max_events) {
+        var slot = omq_pop();
+        if (slot < 0) { om_seed_events(); continue; }
+        var time = load64(omq_time + 8 * slot);
+        var kind = load64(omq_kind + 8 * slot);
+        var node = load64(omq_node + 8 * slot);
+        om_now = time;
+        switch (kind) {
+        case 1:
+            om_handle_send(node, time);
+            break;
+        case 2:
+            om_handle_recv(node, time);
+            break;
+        case 3:
+            om_handle_ack(node, time);
+            break;
+        case 4:
+            om_handle_timeout(node, time);
+            break;
+        default:
+            break;
+        }
+        processed = processed + 1;
+    }
+    return om_stats_sent + om_stats_recv * 3 + om_stats_acked * 5
+        + om_stats_timeout * 7 + om_now;
+}
+
+func main(argc, argv) {
+    om_topo_init_tables();
+    om_seed_events();
+    announce_init_done();
+
+    var iters = parse_iterations(argc, argv, 3);
+    var checksum = 0;
+    var i = 0;
+    while (i < iters) {
+        checksum = (checksum + om_run(120)) & 0xffffffff;
+        i = i + 1;
+    }
+    report_result(checksum);
+    return 0;
+}
+""" + RUNTIME_HELPERS
+
+
+@register("620.omnetpp_s")
+def omnetpp() -> SpecBenchmark:
+    return SpecBenchmark(
+        name="620.omnetpp_s",
+        binary="omnetpp_s",
+        source=_SOURCE,
+        default_iterations=3,
+    )

@@ -1,0 +1,154 @@
+"""625.x264_s-like: block-transform video encoding.
+
+Real x264 encodes H.264 video; the hot loop is 8x8 integer transforms,
+quantization against precomputed tables, and entropy coding.  This
+analogue keeps that pipeline over synthetic frames.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    COMMON_EXTERNS,
+    RUNTIME_HELPERS,
+    SpecBenchmark,
+    generate_table_init,
+    register,
+)
+
+_INIT_TABLES = generate_table_init("xv_quant", 8, "xv_tbl_quant", 32)
+
+_SOURCE = COMMON_EXTERNS + r"""
+const BLOCK = 64;            // 8x8 samples
+
+var xv_tbl_quant[256];
+var xv_frame[4096];
+var xv_coeffs[512];          // BLOCK u64 slots
+
+""" + _INIT_TABLES + r"""
+
+func xv_build_frame(seed) {
+    srand(seed + 11);
+    var i = 0;
+    while (i < 4096) {
+        xv_frame[i] = rand_next() & 255;
+        i = i + 1;
+    }
+    return 0;
+}
+
+// 1-D butterfly pass over a row of eight coefficients
+func xv_transform_row(base) {
+    var i = 0;
+    while (i < 4) {
+        var a = load64(xv_coeffs + 8 * (base + i));
+        var b = load64(xv_coeffs + 8 * (base + 7 - i));
+        store64(xv_coeffs + 8 * (base + i), a + b);
+        store64(xv_coeffs + 8 * (base + 7 - i), a - b);
+        i = i + 1;
+    }
+    return 0;
+}
+
+func xv_dct_block() {
+    var row = 0;
+    while (row < 8) {
+        xv_transform_row(row * 8);
+        row = row + 1;
+    }
+    return 0;
+}
+
+func xv_quantize_block() {
+    var total = 0;
+    var i = 0;
+    while (i < BLOCK) {
+        var q = xv_tbl_quant[i % 256] + 1;
+        var c = load64(xv_coeffs + 8 * i);
+        if (c < 0) { c = -c; }
+        var lvl = c / q;
+        store64(xv_coeffs + 8 * i, lvl);
+        total = total + lvl;
+        i = i + 1;
+    }
+    return total;
+}
+
+// simple run-length "entropy coder"
+func xv_entropy_block() {
+    var bits = 0;
+    var zero_run = 0;
+    var i = 0;
+    while (i < BLOCK) {
+        var lvl = load64(xv_coeffs + 8 * i);
+        if (lvl == 0) {
+            zero_run = zero_run + 1;
+        } else {
+            bits = bits + 4 + zero_run;
+            zero_run = 0;
+        }
+        i = i + 1;
+    }
+    return bits;
+}
+
+// never executed: motion-estimation mode (inter frames)
+func xv_motion_search(bx, by) {
+    var best = 1000000;
+    var dx = -2;
+    while (dx <= 2) {
+        var dy = -2;
+        while (dy <= 2) {
+            var cost = (dx * dx + dy * dy) * 3 + (bx ^ by);
+            if (cost < best) { best = cost; }
+            dy = dy + 1;
+        }
+        dx = dx + 1;
+    }
+    return best;
+}
+
+func xv_encode_frame(frame_index) {
+    xv_build_frame(frame_index);
+    var bits = 0;
+    var block = 0;
+    while (block < 16) {                   // 16 blocks per frame
+        var base = block * 256 % 4000;
+        var i = 0;
+        while (i < BLOCK) {
+            store64(xv_coeffs + 8 * i, xv_frame[base + i] - 128);
+            i = i + 1;
+        }
+        xv_dct_block();
+        xv_quantize_block();
+        bits = bits + xv_entropy_block();
+        block = block + 1;
+    }
+    return bits;
+}
+
+func main(argc, argv) {
+    xv_quant_init_tables();
+    xv_build_frame(0);
+    announce_init_done();
+
+    var frames = parse_iterations(argc, argv, 4);
+    var checksum = 0;
+    var f = 0;
+    while (f < frames) {
+        checksum = (checksum + xv_encode_frame(f)) & 0xffffffff;
+        f = f + 1;
+    }
+    report_result(checksum);
+    return 0;
+}
+""" + RUNTIME_HELPERS
+
+
+@register("625.x264_s")
+def x264() -> SpecBenchmark:
+    return SpecBenchmark(
+        name="625.x264_s",
+        binary="x264_s",
+        source=_SOURCE,
+        default_iterations=4,
+    )

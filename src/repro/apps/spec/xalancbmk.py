@@ -1,0 +1,145 @@
+"""623.xalancbmk_s-like: XML/XSLT-style document transformation.
+
+Real xalancbmk applies XSLT stylesheets to XML; the paper notes it has
+the *largest* text section but fewer init-only blocks than perlbench.
+This analogue mirrors that: many template-rule functions (large code),
+a moderate table-building init phase, and a transform loop over a
+synthetic tag soup.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    COMMON_EXTERNS,
+    RUNTIME_HELPERS,
+    SpecBenchmark,
+    generate_table_init,
+    register,
+)
+
+_INIT_TABLES = generate_table_init("xa_style", 8, "xa_tbl_style", 48)
+
+# sixteen distinct "template rules", one per tag letter, each with its
+# own transformation logic — the big-code, runtime-executed half
+_RULES = "".join(
+    f"""
+func xa_rule_{index}(out, pos, depth) {{
+    var marker = {65 + index};
+    out[pos] = marker;
+    out[pos + 1] = '0' + depth % 10;
+    out[pos + 2] = {90 - index};
+    return pos + 3;
+}}
+"""
+    for index in range(16)
+)
+
+_DISPATCH = "\n".join(
+    f'    if (tag == {65 + index}) {{ return xa_rule_{index}(out, pos, depth); }}'
+    for index in range(16)
+)
+
+_SOURCE = COMMON_EXTERNS + r"""
+var xa_tbl_style[384];
+var xa_document[1024];
+var xa_output[2048];
+
+""" + _INIT_TABLES + _RULES + r"""
+
+func xa_apply_rule(tag, out, pos, depth) {
+""" + _DISPATCH + r"""
+    out[pos] = '?';
+    return pos + 1;
+}
+
+func xa_build_document() {
+    // synthetic markup: <A<B>...> nested tag stream
+    var pos = 0;
+    var i = 0;
+    while (pos < 1000) {
+        xa_document[pos] = '<';
+        xa_document[pos + 1] = 'A' + i % 16;
+        xa_document[pos + 2] = '>';
+        pos = pos + 3;
+        i = i + 1;
+    }
+    xa_document[pos] = 0;
+    return pos;
+}
+
+// never executed: DTD validation mode
+func xa_validate_dtd() {
+    var i = 0;
+    var errors = 0;
+    while (xa_document[i] != 0) {
+        if (xa_document[i] == '<' && xa_document[i + 1] == '/') {
+            errors = errors + 1;
+        }
+        i = i + 1;
+    }
+    return errors;
+}
+
+// never executed: pretty printer
+func xa_pretty_print(out, len) {
+    var i = 0;
+    while (i < len) {
+        print_num(out[i]);
+        i = i + 1;
+    }
+    println("");
+    return 0;
+}
+
+func xa_transform_pass() {
+    var in_pos = 0;
+    var out_pos = 0;
+    var depth = 0;
+    while (xa_document[in_pos] != 0 && out_pos < 2000) {
+        if (xa_document[in_pos] == '<') {
+            var tag = xa_document[in_pos + 1];
+            depth = depth + 1;
+            out_pos = xa_apply_rule(tag, xa_output, out_pos, depth);
+            in_pos = in_pos + 3;
+        } else {
+            xa_output[out_pos] = xa_document[in_pos];
+            out_pos = out_pos + 1;
+            in_pos = in_pos + 1;
+        }
+        if (depth > 8) { depth = 0; }
+    }
+    var checksum = 0;
+    var i = 0;
+    while (i < out_pos) {
+        checksum = (checksum * 31 + xa_output[i]) & 0xffffff;
+        i = i + 1;
+    }
+    return checksum;
+}
+
+func main(argc, argv) {
+    xa_style_init_tables();
+    xa_build_document();
+    announce_init_done();
+
+    var iters = parse_iterations(argc, argv, 4);
+    var checksum = 0;
+    var i = 0;
+    while (i < iters) {
+        checksum = (checksum + xa_transform_pass()) & 0xffffffff;
+        i = i + 1;
+    }
+    report_result(checksum);
+    return 0;
+}
+""" + RUNTIME_HELPERS
+
+
+@register("623.xalancbmk_s")
+def xalancbmk() -> SpecBenchmark:
+    return SpecBenchmark(
+        name="623.xalancbmk_s",
+        binary="xalancbmk_s",
+        source=_SOURCE,
+        default_iterations=4,
+    )

@@ -1,0 +1,25 @@
+"""Attack simulations for the security evaluation (§4.2)."""
+
+from .cves import (
+    AttackOutcome,
+    CveSpec,
+    REDIS_CVES,
+    attempt_cve,
+    cve_by_id,
+)
+from .brop import BropResult, PROBES_REQUIRED, live_workers, run_brop
+from .ret2plt import Ret2PltResult, attempt_ret2plt
+
+__all__ = [
+    "AttackOutcome",
+    "BropResult",
+    "CveSpec",
+    "PROBES_REQUIRED",
+    "REDIS_CVES",
+    "Ret2PltResult",
+    "attempt_cve",
+    "attempt_ret2plt",
+    "cve_by_id",
+    "live_workers",
+    "run_brop",
+]

@@ -1,0 +1,124 @@
+"""Redis CVE exploit simulations (Table 1).
+
+Each entry crafts the input that drives the corresponding vulnerable
+handler in miniredis into memory corruption.  An attack *succeeds*
+when the corruption fires (the server crashes with SIGSEGV/SIGILL or
+control flow is hijacked); it is *mitigated* when DynaCut's feature
+blocking turns the request into an error reply and the server stays
+up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process
+from ..kernel.signals import Signal
+
+
+@dataclass(frozen=True)
+class CveSpec:
+    """One CVE: the command family it lives in and a working exploit."""
+
+    cve: str
+    description: str
+    command: str             # the dispatcher command word (the feature)
+    exploit_line: str        # crafted request triggering the bug
+    benign_line: str         # a well-formed use of the same feature
+
+
+#: the five Redis CVEs of Table 1, with this reproduction's exploits
+REDIS_CVES: tuple[CveSpec, ...] = (
+    CveSpec(
+        cve="CVE-2021-32625",
+        description="STRALGO LCS integer overflow (Redis 6.0+)",
+        command="STRALGO",
+        # 16*16 = 256 truncates to 0 in the 8-bit size check; the fill
+        # loop then writes 256 bytes into a 64-byte stack matrix
+        exploit_line="STRALGO LCS aaaaaaaaaaaaaaaa bbbbbbbbbbbbbbbb",
+        benign_line="STRALGO LCS abc abd",
+    ),
+    CveSpec(
+        cve="CVE-2021-29477",
+        description="STRALGO LCS integer overflow, second operand shape",
+        command="STRALGO",
+        # 32*8 = 256 also truncates to 0
+        exploit_line=(
+            "STRALGO LCS aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa bbbbbbbb"
+        ),
+        benign_line="STRALGO LCS xy xz",
+    ),
+    CveSpec(
+        cve="CVE-2019-10193",
+        description="SETRANGE missing bound check (stack-buffer overflow)",
+        command="SETRANGE",
+        exploit_line="SETRANGE victim 20000000 smash",
+        benign_line="SETRANGE victim 0 ok",
+    ),
+    CveSpec(
+        cve="CVE-2019-10192",
+        description="SETRANGE missing bound check (heap-buffer overflow)",
+        command="SETRANGE",
+        exploit_line="SETRANGE victim 99999999 smash",
+        benign_line="SETRANGE victim 1 ok",
+    ),
+    CveSpec(
+        cve="CVE-2016-8339",
+        description="CONFIG SET buffer overflow into a function pointer",
+        command="CONFIG",
+        exploit_line="CONFIG SET loglevel " + "A" * 96,
+        benign_line="CONFIG SET loglevel debug",
+    ),
+)
+
+
+def cve_by_id(cve: str) -> CveSpec:
+    for spec in REDIS_CVES:
+        if spec.cve == cve:
+            return spec
+    raise KeyError(f"unknown CVE {cve!r}")
+
+
+@dataclass
+class AttackOutcome:
+    """What happened when the exploit line was delivered."""
+
+    cve: str
+    response: bytes          # reply bytes, if any arrived before the crash
+    server_alive: bool
+    term_signal: Signal | None
+
+    @property
+    def exploited(self) -> bool:
+        """The vulnerable code executed and corrupted memory."""
+        return not self.server_alive
+
+    @property
+    def mitigated(self) -> bool:
+        """The server survived and answered with an error."""
+        return self.server_alive and self.response.startswith(b"-ERR")
+
+
+def attempt_cve(
+    kernel: Kernel,
+    proc: Process,
+    port: int,
+    spec: CveSpec,
+    max_instructions: int = 3_000_000,
+) -> AttackOutcome:
+    """Deliver ``spec``'s exploit over a fresh connection."""
+    sock = kernel.connect(port)
+    sock.send(spec.exploit_line + "\n")
+    kernel.run_until(
+        lambda: not proc.alive or b"\n" in sock.endpoint.recv_buffer,
+        max_instructions=max_instructions,
+    )
+    response = sock.recv_available()
+    sock.close()
+    return AttackOutcome(
+        cve=spec.cve,
+        response=response,
+        server_alive=proc.alive,
+        term_signal=proc.term_signal,
+    )

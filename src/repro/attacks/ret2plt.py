@@ -1,0 +1,79 @@
+"""ret2plt simulation.
+
+A return-to-PLT attack pivots a hijacked control flow into a PLT stub
+(``fork@plt``, ``execve@plt``, ``write@plt``...) to invoke sensitive
+library functions without knowing the library's base.  We model the
+*post-exploitation* step directly: the attacker already controls the
+instruction pointer (mininginx's URL overflow grants that) and aims it
+at a PLT entry.
+
+Outcome is judged from the kernel's security-event log: if the stub is
+intact, the libc function runs and the sensitive syscall (``execve``,
+``fork``) is observed; if DynaCut wiped the stub, the pivot lands on
+``int3``/garbage and the process dies without reaching the syscall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..binfmt.self_format import SelfImage
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process
+
+
+@dataclass
+class Ret2PltResult:
+    symbol: str
+    pivot_address: int
+    syscall_invoked: bool     # the sensitive syscall was reached
+    process_survived: bool
+
+    @property
+    def attack_succeeded(self) -> bool:
+        return self.syscall_invoked
+
+
+def attempt_ret2plt(
+    kernel: Kernel,
+    proc: Process,
+    image: SelfImage,
+    symbol: str,
+    max_instructions: int = 50_000,
+) -> Ret2PltResult:
+    """Pivot ``proc``'s control flow into ``symbol``'s PLT stub.
+
+    The register/IP hijack itself is assumed (it models the completed
+    memory-corruption step); what is being measured is whether the PLT
+    entry is still a usable springboard.
+    """
+    stub = image.plt_entries.get(symbol)
+    if stub is None:
+        raise KeyError(f"{image.name} has no PLT entry for {symbol!r}")
+    module = proc.executable_module()
+    pivot = module.load_base + stub
+
+    events_before = len(kernel.security_log)
+    proc.regs.rip = pivot
+    # the hijack happens while handling the attacker's request, so the
+    # process is on-CPU, not parked in a blocking syscall
+    from ..kernel.process import ProcessState
+
+    if proc.state is ProcessState.BLOCKED:
+        proc.state = ProcessState.RUNNABLE
+        proc.wake_predicate = None
+        proc.wake_deadline = None
+    # give the hijacked flow a syscall-sized budget to reach its target
+    kernel.run(max_instructions=max_instructions,
+               until=lambda: len(kernel.security_log) > events_before
+               or not proc.alive)
+    invoked = any(
+        event.kind in ("execve", "fork") and event.pid == proc.pid
+        for event in kernel.security_log[events_before:]
+    )
+    return Ret2PltResult(
+        symbol=symbol,
+        pivot_address=pivot,
+        syscall_invoked=invoked,
+        process_survived=proc.alive,
+    )

@@ -1,0 +1,57 @@
+"""SELF binary format: relocatable objects, static linker, linked images."""
+
+from .object import (
+    EXEC_SECTIONS,
+    ObjectModule,
+    Relocation,
+    RelocType,
+    SECTION_ORDER,
+    SymbolDef,
+    WRITE_SECTIONS,
+)
+from .self_format import (
+    DEFAULT_EXEC_BASE,
+    DynReloc,
+    DynRelocType,
+    ImageKind,
+    PAGE_SIZE,
+    Segment,
+    SelfImage,
+    SymbolInfo,
+    load_self,
+    page_align,
+)
+from .linker import (
+    GOT_SLOT_SIZE,
+    LinkError,
+    Linker,
+    PLT_STUB_SIZE,
+    link_executable,
+    link_shared,
+)
+
+__all__ = [
+    "DEFAULT_EXEC_BASE",
+    "DynReloc",
+    "DynRelocType",
+    "EXEC_SECTIONS",
+    "GOT_SLOT_SIZE",
+    "ImageKind",
+    "LinkError",
+    "Linker",
+    "ObjectModule",
+    "PAGE_SIZE",
+    "PLT_STUB_SIZE",
+    "RelocType",
+    "Relocation",
+    "SECTION_ORDER",
+    "Segment",
+    "SelfImage",
+    "SymbolDef",
+    "SymbolInfo",
+    "WRITE_SECTIONS",
+    "link_executable",
+    "link_shared",
+    "load_self",
+    "page_align",
+]

@@ -1,0 +1,132 @@
+"""Relocatable object modules produced by the VM64 assembler.
+
+An :class:`ObjectModule` is the unit the static linker consumes: named
+sections of raw bytes, symbol definitions, and relocations against
+symbols that may live in this module, another module, or a shared
+library.  The model intentionally mirrors ELF's ``.o`` structure so the
+linker, loader, and DynaCut's injected-library machinery all speak the
+same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+#: Canonical section names, in link-time layout order.
+SECTION_ORDER = ("text", "plt", "rodata", "data", "got", "bss")
+
+#: Sections mapped executable at run time.
+EXEC_SECTIONS = frozenset({"text", "plt"})
+
+#: Sections mapped writable at run time.
+WRITE_SECTIONS = frozenset({"data", "got", "bss"})
+
+
+class RelocType(Enum):
+    """Relocation kinds.
+
+    ABS64
+        64-bit absolute address of the symbol (plus addend) stored at
+        the relocation site.  In shared objects these become dynamic
+        relocations applied by the loader.
+    PCREL32
+        32-bit signed ``S + A - (P + 4)`` where ``P`` is the address of
+        the 4-byte field.  Branch/``lea`` targets.  Calls that resolve
+        to an imported symbol are routed through a PLT stub.
+    """
+
+    ABS64 = "abs64"
+    PCREL32 = "pcrel32"
+
+
+@dataclass
+class SymbolDef:
+    """A symbol defined in this module."""
+
+    name: str
+    section: str
+    offset: int
+    is_global: bool = True
+    is_function: bool = False
+    size: int = 0
+
+
+@dataclass
+class Relocation:
+    """A patch site referencing ``symbol`` within ``section``."""
+
+    section: str
+    offset: int
+    type: RelocType
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class ObjectModule:
+    """A relocatable compilation unit."""
+
+    name: str
+    sections: dict[str, bytearray] = field(default_factory=dict)
+    bss_size: int = 0
+    symbols: dict[str, SymbolDef] = field(default_factory=dict)
+    relocations: list[Relocation] = field(default_factory=list)
+
+    def section(self, name: str) -> bytearray:
+        """Return (creating if needed) the byte buffer for ``name``."""
+        if name == "bss":
+            raise ValueError("bss holds no initialized bytes; use reserve_bss")
+        return self.sections.setdefault(name, bytearray())
+
+    def append(self, section: str, data: bytes) -> int:
+        """Append ``data`` to ``section``; return the offset it starts at."""
+        buf = self.section(section)
+        offset = len(buf)
+        buf += data
+        return offset
+
+    def reserve_bss(self, size: int, align: int = 8) -> int:
+        """Reserve ``size`` zero-initialized bytes; return their offset."""
+        if align > 1:
+            self.bss_size = -(-self.bss_size // align) * align
+        offset = self.bss_size
+        self.bss_size += size
+        return offset
+
+    def define(
+        self,
+        name: str,
+        section: str,
+        offset: int,
+        is_global: bool = True,
+        is_function: bool = False,
+        size: int = 0,
+    ) -> SymbolDef:
+        """Define a symbol; duplicate definitions are an error."""
+        if name in self.symbols:
+            raise ValueError(f"duplicate symbol {name!r} in module {self.name!r}")
+        sym = SymbolDef(name, section, offset, is_global, is_function, size)
+        self.symbols[name] = sym
+        return sym
+
+    def relocate(
+        self,
+        section: str,
+        offset: int,
+        type: RelocType,
+        symbol: str,
+        addend: int = 0,
+    ) -> None:
+        """Record a relocation to be resolved at link time."""
+        self.relocations.append(Relocation(section, offset, type, symbol, addend))
+
+    def undefined_symbols(self) -> set[str]:
+        """Symbols referenced by relocations but not defined here."""
+        return {r.symbol for r in self.relocations if r.symbol not in self.symbols}
+
+    def section_size(self, name: str) -> int:
+        if name == "bss":
+            return self.bss_size
+        return len(self.sections.get(name, b""))

@@ -1,0 +1,135 @@
+"""Code coverage graphs (the paper's ``CovG``).
+
+A coverage graph is the set of executed basic blocks built from one or
+more drcov traces.  DynaCut's identification rules are set algebra
+over these graphs:
+
+* feature-related blocks: ``blk ∈ CovG_undesired ∧ blk ∉ CovG_wanted``;
+* init-only blocks: ``blk ∈ CovG_init ∧ blk ∉ CovG_serving``.
+
+The graph also keeps each block's first-execution order so "the first
+basic block executed" of a feature is well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tracing.drcov import BlockRecord, CoverageTrace
+
+
+@dataclass
+class CoverageGraph:
+    """A set of covered blocks with first-seen ordering."""
+
+    blocks: set[BlockRecord] = field(default_factory=set)
+    order: list[BlockRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_traces(cls, *traces: CoverageTrace) -> "CoverageGraph":
+        """Build a graph from one or more (merged) trace logs."""
+        graph = cls()
+        for trace in traces:
+            for record in trace.order:
+                graph.add(record)
+        return graph
+
+    def add(self, record: BlockRecord) -> bool:
+        if record in self.blocks:
+            return False
+        self.blocks.add(record)
+        self.order.append(record)
+        return True
+
+    def __contains__(self, record: BlockRecord) -> bool:
+        return record in self.blocks
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------------
+    # set algebra
+
+    def difference(self, other: "CoverageGraph") -> "CoverageGraph":
+        """Blocks in self but not in ``other``, keeping self's order."""
+        result = CoverageGraph()
+        for record in self.order:
+            if record not in other.blocks:
+                result.add(record)
+        return result
+
+    def union(self, other: "CoverageGraph") -> "CoverageGraph":
+        result = CoverageGraph()
+        for record in self.order:
+            result.add(record)
+        for record in other.order:
+            result.add(record)
+        return result
+
+    def intersection(self, other: "CoverageGraph") -> "CoverageGraph":
+        result = CoverageGraph()
+        for record in self.order:
+            if record in other.blocks:
+                result.add(record)
+        return result
+
+    # ------------------------------------------------------------------
+    # filters
+
+    def restrict_to_module(self, module: str) -> "CoverageGraph":
+        """Keep only blocks of ``module`` (drop libraries etc.)."""
+        result = CoverageGraph()
+        for record in self.order:
+            if record.module == module:
+                result.add(record)
+        return result
+
+    def without_modules(self, names: set[str]) -> "CoverageGraph":
+        """Drop blocks of the named modules (the libc filter)."""
+        result = CoverageGraph()
+        for record in self.order:
+            if record.module not in names:
+                result.add(record)
+        return result
+
+    def modules(self) -> list[str]:
+        return sorted({record.module for record in self.blocks})
+
+    def total_size(self) -> int:
+        """Total bytes of covered code."""
+        return sum(record.size for record in self.blocks)
+
+    # ------------------------------------------------------------------
+    # byte-granular coverage
+
+    def covered_bytes(self, module: str) -> set[int]:
+        """Every covered byte offset of ``module``.
+
+        Dynamic tracing records entry-point-sensitive sub-blocks: the
+        same code bytes can appear as different ``(start, size)``
+        records in different phases (a branch enters the middle of a
+        previously seen block).  Byte-level coverage is the identity
+        that set differences must be computed over to be sound.
+        """
+        covered: set[int] = set()
+        for record in self.blocks:
+            if record.module == module:
+                covered.update(range(record.offset, record.offset + record.size))
+        return covered
+
+
+def bytes_to_ranges(offsets: set[int]) -> list[tuple[int, int]]:
+    """Collapse a byte set into sorted, maximal (start, size) ranges."""
+    if not offsets:
+        return []
+    ordered = sorted(offsets)
+    ranges: list[tuple[int, int]] = []
+    start = previous = ordered[0]
+    for value in ordered[1:]:
+        if value == previous + 1:
+            previous = value
+            continue
+        ranges.append((start, previous - start + 1))
+        start = previous = value
+    ranges.append((start, previous - start + 1))
+    return ranges

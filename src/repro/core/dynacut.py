@@ -1,0 +1,452 @@
+"""DynaCut orchestrator: dump → rewrite → restore sessions.
+
+:class:`DynaCut` ties the pipeline together.  A customization session
+
+1. checkpoints the target process tree (with DynaCut's modified page
+   policy, so code pages land in the image),
+2. hands an :class:`~repro.core.rewriter.ImageRewriter` to the caller
+   (or to one of the built-in recipes below),
+3. restores the rewritten image — same pids, same TCP connections.
+
+Built-in recipes mirror the paper's use cases:
+
+* :meth:`disable_feature` / :meth:`enable_feature` — block or restore a
+  feature identified by tracediff, with a trap policy (terminate,
+  redirect-to-error-handler, or verify);
+* :meth:`remove_init_code` — wipe initialization-only blocks after the
+  init phase (optionally in verify mode, where falsely removed blocks
+  self-heal and are logged).
+
+Every report carries the virtual-time breakdown of Figure 6/7:
+checkpoint, code patch, signal-handler insertion, restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from ..binfmt.self_format import SelfImage
+from ..kernel.kernel import Kernel
+from ..kernel.process import Process
+from ..tracing.drcov import BlockRecord
+from ..criu.checkpoint import checkpoint_tree
+from ..criu.costmodel import CriuCostModel, DEFAULT_COST_MODEL
+from ..criu.restore import restore_tree
+from .rewriter import ImageRewriter, RewriteError, RewriteStats
+from .sighandler import POLICY_REDIRECT, POLICY_TERMINATE, POLICY_VERIFY
+from .tracediff import FeatureBlocks
+
+
+def enclosing_function(binary: SelfImage, offset: int) -> str | None:
+    """Name of the function whose extent contains ``offset``.
+
+    Function extents are derived from the sorted function-symbol
+    addresses: each function runs until the next function starts.
+    """
+    functions = sorted(
+        (sym.vaddr, name) for name, sym in binary.functions().items()
+    )
+    best: str | None = None
+    for vaddr, name in functions:
+        if vaddr <= offset:
+            best = name
+        else:
+            break
+    return best
+
+
+class TrapPolicy(Enum):
+    """What happens when blocked code is reached (§3.2.2)."""
+
+    TERMINATE = "terminate"    # default SIGTRAP disposition kills the process
+    REDIRECT = "redirect"      # jump to the app's error handler (403 response)
+    VERIFY = "verify"          # restore the byte, log the address, continue
+
+    @property
+    def handler_policy(self) -> int:
+        return {
+            TrapPolicy.TERMINATE: POLICY_TERMINATE,
+            TrapPolicy.REDIRECT: POLICY_REDIRECT,
+            TrapPolicy.VERIFY: POLICY_VERIFY,
+        }[self]
+
+
+class BlockMode(Enum):
+    """How much of a feature to patch."""
+
+    ENTRY = "entry"    # first byte of the first executed unique block
+    ALL = "all"        # first byte of every unique block
+    WIPE = "wipe"      # every byte of every unique block (anti-ROP)
+
+
+@dataclass
+class RewriteReport:
+    """Outcome and virtual-time cost breakdown of one session."""
+
+    pids: list[int]
+    image_pages: int
+    image_bytes: int
+    stats: RewriteStats
+    checkpoint_ns: int = 0
+    restore_ns: int = 0
+
+    @property
+    def patch_ns(self) -> int:
+        return self.stats.patch_ns
+
+    @property
+    def inject_ns(self) -> int:
+        return self.stats.inject_ns
+
+    @property
+    def total_ns(self) -> int:
+        return (
+            self.checkpoint_ns
+            + self.stats.patch_ns
+            + self.stats.inject_ns
+            + self.stats.unmap_ns
+            + self.restore_ns
+        )
+
+    def breakdown_ms(self) -> dict[str, float]:
+        """The Figure 6 stacked-bar components, in milliseconds."""
+        return {
+            "checkpoint": self.checkpoint_ns / 1e6,
+            "disable code w/ int3": self.stats.patch_ns / 1e6,
+            "insert sighandler": self.stats.inject_ns / 1e6,
+            "unmap": self.stats.unmap_ns / 1e6,
+            "restore": self.restore_ns / 1e6,
+            "total": self.total_ns / 1e6,
+        }
+
+
+@dataclass
+class DynaCut:
+    """The dynamic code customization framework."""
+
+    kernel: Kernel
+    cost_model: CriuCostModel = DEFAULT_COST_MODEL
+    image_dir: str = "/tmp/criu/dynacut"
+    #: reports of every session run through this instance
+    history: list[RewriteReport] = field(default_factory=list)
+    #: blocks actually patched per (root pid, feature name), so a later
+    #: enable_feature restores exactly what disable_feature removed
+    _disabled: dict[tuple[int, str], list[BlockRecord]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # generic session
+
+    def customize(
+        self,
+        root_pid: int,
+        actions: Callable[[ImageRewriter], None],
+    ) -> RewriteReport:
+        """Checkpoint, apply ``actions`` to the image, restore."""
+        clock = self.kernel.clock_ns
+        checkpoint = checkpoint_tree(
+            self.kernel,
+            root_pid,
+            image_dir=self.image_dir,
+            dump_exec_pages=True,
+            cost_model=self.cost_model,
+        )
+        checkpoint_ns = self.kernel.clock_ns - clock
+
+        rewriter = ImageRewriter(self.kernel, checkpoint, self.cost_model)
+        actions(rewriter)
+
+        clock = self.kernel.clock_ns
+        restored = restore_tree(self.kernel, checkpoint, self.cost_model)
+        restore_ns = self.kernel.clock_ns - clock
+
+        report = RewriteReport(
+            pids=[proc.pid for proc in restored],
+            image_pages=checkpoint.total_pages(),
+            image_bytes=checkpoint.total_bytes(),
+            stats=rewriter.stats,
+            checkpoint_ns=checkpoint_ns,
+            restore_ns=restore_ns,
+        )
+        self.history.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # feature customization
+
+    def _blocks_for_mode(
+        self, feature: FeatureBlocks, mode: BlockMode
+    ) -> list[BlockRecord]:
+        if not feature.blocks:
+            raise RewriteError(f"feature {feature.name!r} has no blocks")
+        if mode is BlockMode.ENTRY:
+            return [feature.entry]
+        return list(feature.blocks)
+
+    def disable_feature(
+        self,
+        root_pid: int,
+        feature: FeatureBlocks,
+        policy: TrapPolicy = TrapPolicy.TERMINATE,
+        mode: BlockMode = BlockMode.ENTRY,
+        redirect_symbol: str | None = None,
+    ) -> RewriteReport:
+        """Block ``feature`` in the running process tree.
+
+        With :attr:`TrapPolicy.REDIRECT`, ``redirect_symbol`` names the
+        application's error-handler entry (must live in the same
+        function as the dispatcher, per §3.2.2); inadvertent access
+        then produces the app's error response instead of a crash.
+        """
+        module = feature.module
+        binary = self._module_binary(module)
+
+        if policy is TrapPolicy.REDIRECT:
+            if redirect_symbol is None:
+                raise RewriteError("redirect policy needs redirect_symbol")
+            target_offset = binary.symbol_address(redirect_symbol)
+            # The saved-IP redirect is only sound when the trap fires in
+            # the error handler's own frame (§3.2.2), so the blocking
+            # point is the feature's first unique block *inside the
+            # dispatcher function*, i.e. the feature's case arm.
+            dispatcher_blocks = [
+                block for block in feature.blocks
+                if enclosing_function(binary, block.offset)
+                == enclosing_function(binary, target_offset)
+            ]
+            if not dispatcher_blocks:
+                raise RewriteError(
+                    f"feature {feature.name!r} has no unique block in the "
+                    f"function containing {redirect_symbol!r}; the redirect "
+                    "policy needs a dispatcher arm to block (§3.2.2)"
+                )
+            if mode is BlockMode.ENTRY:
+                blocks = [dispatcher_blocks[0]]
+            else:
+                # patch the dispatcher arms plus all blocks of functions
+                # *fully owned* by the feature (their entry block is
+                # feature-unique, so wanted traffic never enters them:
+                # the per-feature handlers).  Unique blocks inside mixed
+                # functions (method-id parsing arms etc.) stay executable
+                # — they run for wanted requests too, in frames the
+                # redirect cannot repair.
+                unique_starts = {b.offset for b in feature.blocks}
+                owned = {
+                    name for name, sym in binary.functions().items()
+                    if sym.vaddr in unique_starts
+                }
+                blocks = list(dispatcher_blocks) + [
+                    b for b in feature.blocks
+                    if enclosing_function(binary, b.offset) in owned
+                ]
+            redirect_blocks = dispatcher_blocks
+        else:
+            blocks = self._blocks_for_mode(feature, mode)
+            redirect_blocks = []
+
+        def actions(rewriter: ImageRewriter) -> None:
+            if mode is BlockMode.WIPE:
+                rewriter.wipe_blocks(module, blocks)
+            else:
+                rewriter.block_entry_int3(module, blocks)
+            if policy is TrapPolicy.REDIRECT:
+                # traps outside the dispatcher frame (direct jumps into
+                # deeper feature code) have no table entry and terminate
+                target = self._symbol_abs(rewriter, module, redirect_symbol)
+                entries = [
+                    (self._block_abs(rewriter, module, block), target)
+                    for block in redirect_blocks
+                    if block in blocks or mode is BlockMode.ENTRY
+                ]
+                rewriter.install_trap_handler(POLICY_REDIRECT, entries)
+                return
+            if policy is TrapPolicy.VERIFY:
+                orig = [
+                    (
+                        self._block_abs(rewriter, module, block),
+                        binary.read_bytes(block.offset, 1)[0],
+                    )
+                    for block in blocks
+                ]
+                rewriter.install_trap_handler(POLICY_VERIFY, orig_entries=orig)
+            # TERMINATE: no handler — the default SIGTRAP disposition kills
+
+        report = self.customize(root_pid, actions)
+        self._disabled[(root_pid, feature.name)] = list(blocks)
+        return report
+
+    def enable_feature(
+        self,
+        root_pid: int,
+        feature: FeatureBlocks,
+        mode: BlockMode = BlockMode.ENTRY,
+    ) -> RewriteReport:
+        """Restore a previously blocked feature's original bytes.
+
+        Restores exactly the blocks the matching :meth:`disable_feature`
+        session patched when one is on record; otherwise falls back to
+        the mode-derived selection.
+        """
+        recorded = self._disabled.pop((root_pid, feature.name), None)
+        blocks = recorded if recorded else self._blocks_for_mode(feature, mode)
+
+        def actions(rewriter: ImageRewriter) -> None:
+            rewriter.restore_blocks(feature.module, blocks)
+
+        return self.customize(root_pid, actions)
+
+    # ------------------------------------------------------------------
+    # init-code removal
+
+    def remove_init_code(
+        self,
+        root_pid: int,
+        module: str,
+        blocks: list[BlockRecord],
+        wipe: bool = True,
+        verify: bool = False,
+    ) -> RewriteReport:
+        """Remove initialization-only blocks from the running tree.
+
+        ``wipe=True`` (the paper's default for init code) overwrites
+        every instruction; ``verify=True`` instead patches entry bytes
+        and installs the verifier so misclassified blocks self-heal.
+        """
+        binary = self._module_binary(module)
+
+        def actions(rewriter: ImageRewriter) -> None:
+            if verify:
+                rewriter.block_entry_int3(module, blocks)
+                orig = [
+                    (
+                        self._block_abs(rewriter, module, block),
+                        binary.read_bytes(block.offset, 1)[0],
+                    )
+                    for block in blocks
+                ]
+                rewriter.install_trap_handler(POLICY_VERIFY, orig_entries=orig)
+            elif wipe:
+                rewriter.wipe_blocks(module, blocks)
+            else:
+                rewriter.block_entry_int3(module, blocks)
+
+        return self.customize(root_pid, actions)
+
+    # ------------------------------------------------------------------
+    # live re-randomization (§5 direction)
+
+    def rerandomize_library(
+        self, root_pid: int, module: str = "libc.so",
+        new_base: int | None = None,
+    ) -> RewriteReport:
+        """Move ``module`` to a new base in the live process tree.
+
+        Leaked code addresses from before the rewrite stop working; the
+        process keeps running (registers, GOT slots, sigactions, and
+        stack pointers into the moved range are rebased in the image).
+        """
+        def actions(rewriter: ImageRewriter) -> None:
+            rewriter.rerandomize_library(module, new_base)
+
+        return self.customize(root_pid, actions)
+
+    # ------------------------------------------------------------------
+    # administration queries
+
+    def disabled_features(self, root_pid: int) -> list[str]:
+        """Names of features currently disabled on ``root_pid``'s tree."""
+        return sorted(
+            name for pid, name in self._disabled if pid == root_pid
+        )
+
+    def status(self, root_pid: int) -> dict[str, object]:
+        """Operator overview: live pids, disabled features, filter state."""
+        proc = self.kernel.processes.get(root_pid)
+        tree = [
+            p.pid for p in self.kernel.processes.values()
+            if p.alive and (p.pid == root_pid or p.ppid == root_pid)
+        ]
+        return {
+            "root_pid": root_pid,
+            "alive": proc is not None and proc.alive,
+            "tree_pids": sorted(tree),
+            "disabled_features": self.disabled_features(root_pid),
+            "syscall_filter": (
+                sorted(proc.syscall_filter)
+                if proc is not None and proc.syscall_filter is not None
+                else None
+            ),
+            "rewrites": len(self.history),
+        }
+
+    # ------------------------------------------------------------------
+    # syscall specialization (§5 seccomp direction)
+
+    def restrict_syscalls(
+        self, root_pid: int, allowed: set[int] | None
+    ) -> RewriteReport:
+        """Install (``allowed`` set) or lift (``None``) a syscall filter.
+
+        The dynamic counterpart of temporal syscall specialization: the
+        filter is written into the core images and enforced after
+        restore; calling again with ``None`` removes it — something a
+        statically installed seccomp filter cannot do.
+        """
+        def actions(rewriter: ImageRewriter) -> None:
+            rewriter.set_syscall_filter(allowed)
+
+        return self.customize(root_pid, actions)
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _check_same_function(
+        self, binary: SelfImage, trap_offset: int, target_offset: int
+    ) -> None:
+        """Enforce §3.2.2: redirect target and trap must share a function.
+
+        The redirect policy rewrites the saved instruction pointer
+        without touching the stack, so it is only sound when the error
+        handler runs in the frame the trap interrupted.
+        """
+        trap_fn = enclosing_function(binary, trap_offset)
+        target_fn = enclosing_function(binary, target_offset)
+        if trap_fn is None or trap_fn != target_fn:
+            raise RewriteError(
+                f"redirect target at {target_offset:#x} (function "
+                f"{target_fn!r}) is not in the same function as the trap "
+                f"site {trap_offset:#x} (function {trap_fn!r}); the saved-IP "
+                "redirect policy requires both in one frame (§3.2.2). "
+                "Profile the wanted features with more inputs so the "
+                "feature's first unique block lands in the dispatcher."
+            )
+
+    def _module_binary(self, module: str) -> SelfImage:
+        binary = self.kernel.binaries.get(module)
+        if binary is None:
+            raise RewriteError(f"binary {module!r} not registered")
+        return binary
+
+    def _symbol_abs(
+        self, rewriter: ImageRewriter, module: str, symbol: str
+    ) -> int:
+        binary = self._module_binary(module)
+        __, base = rewriter.images_mapping(module)[0]
+        return base + binary.symbol_address(symbol)
+
+    def _block_abs(
+        self, rewriter: ImageRewriter, module: str, block: BlockRecord
+    ) -> int:
+        __, base = rewriter.images_mapping(module)[0]
+        return base + block.offset
+
+    # ------------------------------------------------------------------
+
+    def restored_process(self, pid: int) -> Process:
+        proc = self.kernel.processes.get(pid)
+        if proc is None or not proc.alive:
+            raise RewriteError(f"pid {pid} is not alive after rewriting")
+        return proc

@@ -1,0 +1,91 @@
+"""Temporally-unused (initialization-only) code identification.
+
+Reproduces §3.1's semi-automatic profiling: the user observes that the
+server has finished initializing (the ready line on stdout, or just
+waiting a while), nudges the tracer to dump ``CovG_init``, lets the
+program serve its workload, and collects ``CovG_serving``.  A block is
+initialization-only iff::
+
+    blk ∈ CovG_init  and  blk ∉ CovG_serving
+
+The identification is per-module; by default only the application
+binary's blocks are reported (DynaCut targets application code;
+library customization is future work in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..tracing.drcov import BlockRecord, CoverageTrace
+from .covgraph import CoverageGraph, bytes_to_ranges
+
+
+@dataclass(frozen=True)
+class InitPhaseReport:
+    """Init-only code plus the phase statistics Figure 9 reports.
+
+    ``init_only`` holds maximal contiguous byte ranges (what the
+    rewriter wipes); ``removed_blocks`` holds the executed basic blocks
+    whose entry byte is init-only (Figure 9's block counts).
+    """
+
+    module: str
+    init_only: tuple[BlockRecord, ...]       # contiguous removable ranges
+    removed_blocks: tuple[BlockRecord, ...]  # init trace blocks removed
+    init_executed: int          # blocks executed during init (module only)
+    serving_executed: int       # blocks executed while serving (module only)
+    total_executed: int         # deduplicated blocks across both phases
+
+    @property
+    def removable_count(self) -> int:
+        return len(self.removed_blocks)
+
+    @property
+    def removable_fraction(self) -> float:
+        """Fraction of *executed* blocks that are init-only (Fig. 9's %)"""
+        if self.total_executed == 0:
+            return 0.0
+        return self.removable_count / self.total_executed
+
+    def removable_bytes(self) -> int:
+        return sum(block.size for block in self.init_only)
+
+
+def init_only_blocks(
+    init_trace: CoverageTrace,
+    serving_trace: CoverageTrace,
+    module: str,
+) -> InitPhaseReport:
+    """Compute the init-only code of ``module``.
+
+    The difference is taken at **byte granularity**: dynamic traces
+    record entry-point-sensitive sub-blocks, so the same live bytes can
+    show up under different ``(start, size)`` records in the two
+    phases.  A byte is removable iff it executed during init and never
+    during serving; contiguous removable bytes are reported as ranges
+    (the units the rewriter wipes).
+    """
+    init_graph = CoverageGraph.from_traces(init_trace).restrict_to_module(module)
+    serving_graph = CoverageGraph.from_traces(serving_trace).restrict_to_module(
+        module
+    )
+    init_bytes = init_graph.covered_bytes(module)
+    serving_bytes = serving_graph.covered_bytes(module)
+    removable = init_bytes - serving_bytes
+    init_only = tuple(
+        BlockRecord(module, start, size)
+        for start, size in bytes_to_ranges(removable)
+    )
+    removed_blocks = tuple(
+        block for block in init_graph.order if block.offset in removable
+    )
+    total = init_graph.union(serving_graph)
+    return InitPhaseReport(
+        module=module,
+        init_only=init_only,
+        removed_blocks=removed_blocks,
+        init_executed=len(init_graph),
+        serving_executed=len(serving_graph),
+        total_executed=len(total),
+    )

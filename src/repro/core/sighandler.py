@@ -1,0 +1,141 @@
+"""The injectable SIGTRAP handler library.
+
+DynaCut loads a position-independent shared library into the *image* of
+the target process (not via the guest's dlopen — the process never
+cooperates) and points the SIGTRAP sigaction at it.  The library
+implements the paper's three trap policies:
+
+* **terminate** — ``exit()`` like prior debloating work;
+* **redirect** — look the trap address up in a redirect table and
+  rewrite the saved instruction pointer in the sigframe, so on signal
+  return the application jumps to its own error handler (e.g. the
+  403-Forbidden arm of the dispatcher);
+* **verify** — the feature-validation mode: restore the original first
+  byte over the ``int3`` (via ``mprotect``), log the address in an
+  in-library ring buffer, and re-execute — falsely-removed blocks heal
+  themselves and are reported instead of crashing the program.
+
+The redirect/original-byte tables live in the library's data section;
+the rewriter fills them in after placing the library, by patching the
+checkpoint image at the exported symbols' addresses.
+
+As in the paper, the library carries its **own** ``rt_sigreturn``
+restorer (``__dynacut_restore``) rather than borrowing the
+application's.
+"""
+
+from __future__ import annotations
+
+from ..binfmt.linker import link_shared
+from ..binfmt.self_format import SelfImage
+from ..isa.assembler import assemble
+from ..minic.codegen import compile_source
+
+HANDLER_LIB_NAME = "dynacut_handler.so"
+
+#: exported entry points / data symbols the rewriter patches
+HANDLER_SYMBOL = "dynacut_handler"
+RESTORER_SYMBOL = "__dynacut_restore"
+POLICY_SYMBOL = "dynacut_policy"
+REDIRECT_COUNT_SYMBOL = "dynacut_table_count"
+REDIRECT_TABLE_SYMBOL = "dynacut_redirect_table"
+ORIG_COUNT_SYMBOL = "dynacut_orig_count"
+ORIG_TABLE_SYMBOL = "dynacut_orig_table"
+LOG_COUNT_SYMBOL = "dynacut_log_count"
+LOG_TABLE_SYMBOL = "dynacut_log"
+
+#: table capacities (entries); each entry is a (u64, u64) pair
+REDIRECT_CAPACITY = 64
+ORIG_CAPACITY = 128
+LOG_CAPACITY = 64
+
+POLICY_TERMINATE = 0
+POLICY_REDIRECT = 1
+POLICY_VERIFY = 2
+
+_HANDLER_SOURCE = r"""
+extern func exit;
+extern func mprotect;
+
+var dynacut_policy = 0;
+var dynacut_table_count = 0;
+var dynacut_redirect_table[1024];    // 64 (trap, target) u64 pairs
+var dynacut_orig_count = 0;
+var dynacut_orig_table[2048];        // 128 (addr, byte) u64 pairs
+var dynacut_log_count = 0;
+var dynacut_log[512];                // 64 trap addresses observed
+
+// sig = signal number, frame = sigframe address (saved rip at offset 0),
+// fault = address of the int3 that trapped
+func dynacut_handler(sig, frame, fault) {
+    if (dynacut_log_count < 64) {
+        store64(dynacut_log + 8 * dynacut_log_count, fault);
+        dynacut_log_count = dynacut_log_count + 1;
+    }
+
+    if (dynacut_policy == 1) {          // redirect to the app error handler
+        var i = 0;
+        while (i < dynacut_table_count) {
+            if (load64(dynacut_redirect_table + 16 * i) == fault) {
+                store64(frame, load64(dynacut_redirect_table + 16 * i + 8));
+                return 0;
+            }
+            i = i + 1;
+        }
+        exit(139);
+        return 0;
+    }
+
+    if (dynacut_policy == 2) {          // verify: restore and re-execute
+        var i = 0;
+        while (i < dynacut_orig_count) {
+            if (load64(dynacut_orig_table + 16 * i) == fault) {
+                var page = fault / 4096 * 4096;
+                mprotect(page, 4096, 7);               // rwx
+                store8(fault, load64(dynacut_orig_table + 16 * i + 8));
+                mprotect(page, 4096, 5);               // r-x
+                store64(frame, fault);                 // re-run restored insn
+                return 0;
+            }
+            i = i + 1;
+        }
+        exit(139);
+        return 0;
+    }
+
+    exit(139);                          // terminate policy / unknown trap
+    return 0;
+}
+"""
+
+_RESTORER_ASM = """
+.section text
+.global __dynacut_restore
+__dynacut_restore:
+    mov r1, sp
+    movi r0, 17        ; SYS_SIGRETURN
+    syscall
+    int3
+"""
+
+
+_CACHE: dict[int, SelfImage] = {}
+
+
+def build_handler_library(libc: SelfImage) -> SelfImage:
+    """Compile and link the handler library against ``libc``'s exports.
+
+    The result is position independent; its GOT entries become
+    GLOB_DAT dynamic relocations the injector resolves against the
+    *target process's* libc mapping — the paper's PLT-relocation step.
+    """
+    cached = _CACHE.get(id(libc))
+    if cached is not None:
+        return cached
+    handler_module = compile_source(_HANDLER_SOURCE, "dynacut_handler.o", entry=False)
+    restorer_module = assemble(_RESTORER_ASM, "dynacut_restore.o")
+    library = link_shared(
+        [handler_module, restorer_module], HANDLER_LIB_NAME, libraries=[libc]
+    )
+    _CACHE[id(libc)] = library
+    return library

@@ -1,0 +1,78 @@
+"""Temporal syscall specialization (the paper's §5 seccomp direction).
+
+Ghavamnia et al. (USENIX Security '20) shrink a server's syscall set
+after initialization with a static analysis + seccomp filter; the
+DynaCut paper observes that process rewriting can install and *remove*
+such filters dynamically.  This module implements the trace-driven
+variant: the phase-split coverage traces already record which syscalls
+each phase used, so the post-init allow-list is simply the serving
+phase's syscall set plus a small always-needed core.
+
+Combined with :meth:`ImageRewriter.set_syscall_filter`, this gives the
+full dynamic workflow: profile → rewrite (filter installed) → restore;
+and later rewrite again with ``None`` to lift the filter.
+"""
+
+from __future__ import annotations
+
+from ..kernel.syscalls import Sys
+from ..tracing.drcov import CoverageTrace
+
+#: syscalls every process needs regardless of profile: clean exit and
+#: signal return (the trap handler must be able to run), plus close —
+#: connection teardown may not appear in a short profiling window
+ALWAYS_ALLOWED: frozenset[int] = frozenset(
+    {int(Sys.EXIT), int(Sys.SIGRETURN), int(Sys.CLOSE)}
+)
+
+#: syscalls commonly abused for post-exploitation; reported by
+#: :func:`specialization_report` when a profile still needs them
+SENSITIVE: frozenset[int] = frozenset(
+    {int(Sys.FORK), int(Sys.EXECVE), int(Sys.KILL), int(Sys.MPROTECT),
+     int(Sys.MMAP)}
+)
+
+
+def serving_allowlist(
+    serving_trace: CoverageTrace,
+    extra: set[int] | None = None,
+) -> frozenset[int]:
+    """The post-initialization syscall allow-list for a profiled server."""
+    allowed = set(serving_trace.syscalls) | set(ALWAYS_ALLOWED)
+    if extra:
+        allowed |= extra
+    return frozenset(allowed)
+
+
+def dropped_syscalls(
+    init_trace: CoverageTrace,
+    serving_trace: CoverageTrace,
+) -> frozenset[int]:
+    """Syscalls used during init but never while serving (the win)."""
+    return frozenset(init_trace.syscalls - serving_trace.syscalls)
+
+
+def specialization_report(
+    init_trace: CoverageTrace,
+    serving_trace: CoverageTrace,
+) -> dict[str, object]:
+    """Human-readable summary of what a post-init filter removes."""
+    dropped = dropped_syscalls(init_trace, serving_trace)
+    allowed = serving_allowlist(serving_trace)
+
+    def names(numbers) -> list[str]:
+        out = []
+        for number in sorted(numbers):
+            try:
+                out.append(Sys(number).name)
+            except ValueError:
+                out.append(str(number))
+        return out
+
+    return {
+        "init_syscalls": names(init_trace.syscalls),
+        "serving_syscalls": names(serving_trace.syscalls),
+        "dropped": names(dropped),
+        "dropped_sensitive": names(dropped & SENSITIVE),
+        "allowed": names(allowed),
+    }

@@ -1,0 +1,54 @@
+"""Checkpoint/restore in userspace (the CRIU + CRIT analogue)."""
+
+from .images import (
+    CheckpointImage,
+    CoreImage,
+    FdEntryImage,
+    FilesImage,
+    ImageError,
+    MmImage,
+    PagemapEntry,
+    PagemapImage,
+    PagesImage,
+    ProcessImage,
+    RegsImage,
+    SigactionEntry,
+    VmaEntry,
+)
+from .costmodel import DEFAULT_COST_MODEL, CriuCostModel, MS, US
+from .checkpoint import (
+    CheckpointError,
+    DEFAULT_IMAGE_DIR,
+    checkpoint_tree,
+    process_tree_pids,
+)
+from .restore import RestoreError, restore_from_dir, restore_tree
+from . import crit
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointImage",
+    "CoreImage",
+    "CriuCostModel",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_IMAGE_DIR",
+    "FdEntryImage",
+    "FilesImage",
+    "ImageError",
+    "MS",
+    "MmImage",
+    "PagemapEntry",
+    "PagemapImage",
+    "PagesImage",
+    "ProcessImage",
+    "RegsImage",
+    "RestoreError",
+    "SigactionEntry",
+    "US",
+    "VmaEntry",
+    "checkpoint_tree",
+    "crit",
+    "process_tree_pids",
+    "restore_from_dir",
+    "restore_tree",
+]

@@ -1,0 +1,235 @@
+"""CRIT — the CRiu Image Tool.
+
+The paper extends CRIT into the process-rewriting API; this module
+provides the same two layers:
+
+* **decode/encode**: lossless conversion between binary image files and
+  JSON-friendly dictionaries (``crit decode`` / ``crit encode``);
+* **inspection**: ``show_mems`` prints the VMA table of a checkpoint
+  (``crit x <dir> mems``), ``show_core`` the register state
+  (``crit show core.img``).
+
+The mutation API the rewriter builds on lives directly on
+:class:`~repro.criu.images.ProcessImage` (``write_memory``,
+``add_pages``, ``drop_range``) — CRIT exposes them over a directory.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any
+
+from .images import (
+    CheckpointImage,
+    CoreImage,
+    FdEntryImage,
+    FilesImage,
+    ImageError,
+    MmImage,
+    PagemapEntry,
+    PagemapImage,
+    PagesImage,
+    RegsImage,
+    SigactionEntry,
+    VmaEntry,
+)
+
+_KIND_MAGIC_PREFIX = {
+    b"CORE": "core",
+    b"MMAP": "mm",
+    b"PGMP": "pagemap",
+    b"PAGE": "pages",
+    b"FILE": "files",
+}
+
+
+def image_kind(data: bytes) -> str:
+    """Identify an image file by magic."""
+    kind = _KIND_MAGIC_PREFIX.get(data[:4])
+    if kind is None:
+        raise ImageError("unknown image magic")
+    return kind
+
+
+# ----------------------------------------------------------------------
+# decode
+
+
+def decode(data: bytes) -> dict[str, Any]:
+    """Decode any image file to a JSON-friendly dict."""
+    kind = image_kind(data)
+    if kind == "core":
+        return _decode_core(CoreImage.from_bytes(data))
+    if kind == "mm":
+        return _decode_mm(MmImage.from_bytes(data))
+    if kind == "pagemap":
+        pagemap = PagemapImage.from_bytes(data)
+        return {
+            "kind": "pagemap",
+            "entries": [
+                {"vaddr": e.vaddr, "nr_pages": e.nr_pages} for e in pagemap.entries
+            ],
+        }
+    if kind == "pages":
+        pages = PagesImage.from_bytes(data)
+        return {
+            "kind": "pages",
+            "data_b64": base64.b64encode(pages.data).decode("ascii"),
+        }
+    return _decode_files(FilesImage.from_bytes(data))
+
+
+def _decode_core(core: CoreImage) -> dict[str, Any]:
+    return {
+        "kind": "core",
+        "pid": core.pid,
+        "ppid": core.ppid,
+        "binary": core.binary,
+        "regs": {
+            "gpr": list(core.regs.gpr),
+            "rip": core.regs.rip,
+            "zf": core.regs.zf,
+            "lt": core.regs.lt,
+        },
+        "sigactions": [
+            {"signal": s.signal, "handler": s.handler, "restorer": s.restorer}
+            for s in core.sigactions
+        ],
+        "next_fd": core.next_fd,
+        "syscall_filter": core.syscall_filter,
+    }
+
+
+def _decode_mm(mm: MmImage) -> dict[str, Any]:
+    return {
+        "kind": "mm",
+        "vmas": [
+            {
+                "start": v.start,
+                "end": v.end,
+                "perms": v.perms,
+                "file_path": v.file_path,
+                "file_offset": v.file_offset,
+                "tag": v.tag,
+            }
+            for v in mm.vmas
+        ],
+    }
+
+
+def _decode_files(files: FilesImage) -> dict[str, Any]:
+    return {
+        "kind": "files",
+        "fds": [
+            {
+                "fd": f.fd,
+                "fd_kind": f.kind,
+                "path": f.path,
+                "offset": f.offset,
+                "flags": f.flags,
+                "port": f.port,
+                "pending_conns": list(f.pending_conns),
+                "conn_id": f.conn_id,
+                "side": f.side,
+                "recv_buffer_b64": base64.b64encode(f.recv_buffer).decode("ascii"),
+            }
+            for f in files.fds
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# encode
+
+
+def encode(payload: dict[str, Any]) -> bytes:
+    """Encode a decoded dict back to binary image bytes."""
+    kind = payload.get("kind")
+    if kind == "core":
+        regs = payload["regs"]
+        return CoreImage(
+            pid=payload["pid"],
+            ppid=payload["ppid"],
+            binary=payload["binary"],
+            regs=RegsImage(list(regs["gpr"]), regs["rip"], regs["zf"], regs["lt"]),
+            sigactions=[
+                SigactionEntry(s["signal"], s["handler"], s["restorer"])
+                for s in payload["sigactions"]
+            ],
+            next_fd=payload["next_fd"],
+            syscall_filter=payload.get("syscall_filter"),
+        ).to_bytes()
+    if kind == "mm":
+        return MmImage(
+            vmas=[
+                VmaEntry(
+                    v["start"], v["end"], v["perms"], v["file_path"],
+                    v["file_offset"], v["tag"],
+                )
+                for v in payload["vmas"]
+            ]
+        ).to_bytes()
+    if kind == "pagemap":
+        return PagemapImage(
+            entries=[
+                PagemapEntry(e["vaddr"], e["nr_pages"]) for e in payload["entries"]
+            ]
+        ).to_bytes()
+    if kind == "pages":
+        return PagesImage(base64.b64decode(payload["data_b64"])).to_bytes()
+    if kind == "files":
+        return FilesImage(
+            fds=[
+                FdEntryImage(
+                    f["fd"], f["fd_kind"], f["path"], f["offset"], f["flags"],
+                    f["port"], list(f["pending_conns"]), f["conn_id"], f["side"],
+                    base64.b64decode(f["recv_buffer_b64"]),
+                )
+                for f in payload["fds"]
+            ]
+        ).to_bytes()
+    raise ImageError(f"cannot encode kind {kind!r}")
+
+
+def decode_to_json(data: bytes, indent: int = 2) -> str:
+    """``crit decode``: binary image file -> JSON text."""
+    return json.dumps(decode(data), indent=indent)
+
+
+def encode_from_json(text: str) -> bytes:
+    """``crit encode``: JSON text -> binary image file."""
+    return encode(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# inspection (crit x / crit show)
+
+
+def show_mems(fs, image_dir: str) -> str:
+    """``crit x <dir> mems``: the VMA tables of every process image."""
+    checkpoint = CheckpointImage.load(fs, image_dir)
+    lines = []
+    for proc in checkpoint.processes:
+        lines.append(f"pid {proc.pid} ({proc.core.binary}):")
+        for vma in proc.mm.vmas:
+            backing = vma.file_path or "anon"
+            lines.append(
+                f"  {vma.start:#014x}-{vma.end:#014x} {vma.perms} {backing} {vma.tag}"
+            )
+    return "\n".join(lines)
+
+
+def show_core(fs, image_dir: str, pid: int) -> str:
+    """``crit show core-<pid>.img``: registers and sigactions."""
+    core = CoreImage.from_bytes(fs.read_file(f"{image_dir}/core-{pid}.img"))
+    lines = [f"pid {core.pid} ppid {core.ppid} binary {core.binary}"]
+    lines.append(f"  rip {core.regs.rip:#x} zf {core.regs.zf} lt {core.regs.lt}")
+    for index, value in enumerate(core.regs.gpr):
+        lines.append(f"  r{index:<2} {value:#018x}")
+    for action in core.sigactions:
+        lines.append(
+            f"  sigaction {action.signal}: handler {action.handler:#x} "
+            f"restorer {action.restorer:#x}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""VM64 instruction set: definitions, encoding, assembler, disassembler."""
+
+from .instructions import (
+    BLOCK_TERMINATORS,
+    CONDITIONAL_BRANCHES,
+    DIRECT_BRANCHES,
+    INSTRUCTION_SPECS,
+    INT3_OPCODE,
+    NUM_REGISTERS,
+    SPEC_BY_MNEMONIC,
+    SPEC_BY_OPCODE,
+    Instruction,
+    InstructionSpec,
+    Operand,
+)
+from .encoding import DecodeError, EncodeError, decode, encode, encode_fields
+from .assembler import Assembler, AssemblyError, assemble
+from .disassembler import (
+    DecodedInstruction,
+    disassemble_one,
+    disassemble_range,
+    format_listing,
+)
+
+__all__ = [
+    "BLOCK_TERMINATORS",
+    "CONDITIONAL_BRANCHES",
+    "DIRECT_BRANCHES",
+    "INSTRUCTION_SPECS",
+    "INT3_OPCODE",
+    "NUM_REGISTERS",
+    "SPEC_BY_MNEMONIC",
+    "SPEC_BY_OPCODE",
+    "Assembler",
+    "AssemblyError",
+    "DecodeError",
+    "DecodedInstruction",
+    "EncodeError",
+    "Instruction",
+    "InstructionSpec",
+    "Operand",
+    "assemble",
+    "decode",
+    "disassemble_one",
+    "disassemble_range",
+    "encode",
+    "encode_fields",
+    "format_listing",
+]

@@ -1,0 +1,393 @@
+"""Two-pass-free VM64 assembler.
+
+Translates assembly text into a relocatable
+:class:`~repro.binfmt.object.ObjectModule`.  Because every VM64
+instruction has a statically known length, label offsets are final the
+moment code is emitted, so the assembler runs in a single pass and
+records a relocation for *every* symbolic reference (local ones
+included); the static linker resolves them uniformly.
+
+Syntax::
+
+    ; comment (also "#")
+    .section text            ; text | rodata | data | bss
+    .global main
+    .align 8
+    main:
+        movi r1, 64          ; decimal, 0x40, or 'A'
+        movi r2, @buffer     ; 64-bit absolute address of a symbol
+        lea  r3, message     ; pc-relative address of a symbol
+        ld64 r4, [r2+8]      ; memory operands: [reg], [reg+imm], [reg-imm]
+        st8  [r2], r4
+        call strlen          ; pc-relative, PLT-routed if imported
+        jne  main
+        ret
+    .section rodata
+    message: .asciiz "hi\\n"
+    .section bss
+    buffer: .space 4096
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+
+from ..binfmt.object import ObjectModule, RelocType
+from .instructions import (
+    REGISTER_ALIASES,
+    SPEC_BY_MNEMONIC,
+    Operand,
+)
+from .encoding import encode_fields
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_RE = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(.+?)\s*)?\]$")
+
+_VALID_SECTIONS = ("text", "rodata", "data", "bss")
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input, with file/line context."""
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+class Assembler:
+    """Assemble VM64 source text into an :class:`ObjectModule`."""
+
+    def __init__(self, module_name: str = "a.o"):
+        self.module = ObjectModule(module_name)
+        self._section = "text"
+        self._globals: set[str] = set()
+        self._line_no = 0
+        self._line = ""
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def assemble(self, source: str) -> ObjectModule:
+        """Assemble ``source`` and return the populated module."""
+        for self._line_no, raw in enumerate(source.splitlines(), start=1):
+            self._line = raw
+            line = self._strip_comment(raw).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                self._define_label(match.group(1))
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line)
+            else:
+                self._instruction(line)
+        self._apply_global_marks()
+        return self.module
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _error(self, message: str) -> AssemblyError:
+        return AssemblyError(message, self._line_no, self._line)
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        out = []
+        in_string = False
+        escaped = False
+        for ch in line:
+            if in_string:
+                out.append(ch)
+                if escaped:
+                    escaped = False
+                elif ch == "\\":
+                    escaped = True
+                elif ch == '"':
+                    in_string = False
+                continue
+            if ch in ";#":
+                break
+            out.append(ch)
+            if ch == '"':
+                in_string = True
+        return "".join(out)
+
+    def _offset(self) -> int:
+        if self._section == "bss":
+            return self.module.bss_size
+        return self.module.section_size(self._section)
+
+    def _define_label(self, name: str) -> None:
+        # text labels are function entries unless they use the compiler's
+        # local-label convention (leading "_L" or "."), which marks
+        # branch targets inside a function
+        is_function = self._section == "text" and not name.startswith(("_L", "."))
+        try:
+            self.module.define(
+                name, self._section, self._offset(), is_global=False,
+                is_function=is_function,
+            )
+        except ValueError as exc:
+            raise self._error(str(exc)) from exc
+
+    def _apply_global_marks(self) -> None:
+        for name in self._globals:
+            sym = self.module.symbols.get(name)
+            if sym is not None:
+                sym.is_global = True
+
+    # ------------------------------------------------------------------
+    # directives
+
+    def _directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        handler = getattr(self, "_dir_" + name[1:], None)
+        if handler is None:
+            raise self._error(f"unknown directive {name!r}")
+        handler(rest)
+
+    def _dir_section(self, rest: str) -> None:
+        section = rest.strip().lstrip(".")
+        if section not in _VALID_SECTIONS:
+            raise self._error(f"unknown section {section!r}")
+        self._section = section
+
+    def _dir_global(self, rest: str) -> None:
+        for name in rest.replace(",", " ").split():
+            self._globals.add(name)
+
+    def _dir_marker(self, rest: str) -> None:
+        """Define a non-function symbol at the current offset.
+
+        Used for in-function landmarks such as DynaCut redirect targets:
+        addressable by name, but not a function boundary.
+        """
+        name = rest.strip()
+        if not _SYMBOL_RE.match(name):
+            raise self._error(f"bad marker name {name!r}")
+        try:
+            self.module.define(
+                name, self._section, self._offset(), is_global=False,
+                is_function=False,
+            )
+        except ValueError as exc:
+            raise self._error(str(exc)) from exc
+
+    def _dir_align(self, rest: str) -> None:
+        align = self._parse_int(rest.strip())
+        if align <= 0 or align & (align - 1):
+            raise self._error(f"alignment must be a power of two, got {align}")
+        if self._section == "bss":
+            self.module.reserve_bss(0, align=align)
+            return
+        buf = self.module.section(self._section)
+        pad = (-len(buf)) % align
+        filler = b"\x90" if self._section == "text" else b"\x00"
+        buf += filler * pad
+
+    def _dir_byte(self, rest: str) -> None:
+        data = bytes(self._parse_int(tok) & 0xFF for tok in self._split_args(rest))
+        self.module.append(self._section, data)
+
+    def _dir_quad(self, rest: str) -> None:
+        for tok in self._split_args(rest):
+            if tok.startswith("@"):
+                symbol, addend = self._parse_symref(tok[1:])
+                offset = self.module.append(self._section, b"\x00" * 8)
+                self.module.relocate(
+                    self._section, offset, RelocType.ABS64, symbol, addend
+                )
+            else:
+                value = self._parse_int(tok) & ((1 << 64) - 1)
+                self.module.append(self._section, struct.pack("<Q", value))
+
+    def _dir_ascii(self, rest: str) -> None:
+        self.module.append(self._section, self._parse_string(rest))
+
+    def _dir_asciiz(self, rest: str) -> None:
+        self.module.append(self._section, self._parse_string(rest) + b"\x00")
+
+    def _dir_space(self, rest: str) -> None:
+        size = self._parse_int(rest.strip())
+        if size < 0:
+            raise self._error(f"negative .space size {size}")
+        if self._section == "bss":
+            self.module.reserve_bss(size, align=1)
+        else:
+            self.module.append(self._section, b"\x00" * size)
+
+    # ------------------------------------------------------------------
+    # instructions
+
+    def _instruction(self, line: str) -> None:
+        if self._section != "text":
+            raise self._error(f"instruction outside text section ({self._section})")
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        spec = SPEC_BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise self._error(f"unknown mnemonic {mnemonic!r}")
+        args = self._split_args(parts[1]) if len(parts) > 1 else []
+
+        # Memory-form instructions are written with bracketed operands in
+        # source order ([base+disp] first for stores), but encode as
+        # (reg, reg, imm32); normalize here.
+        if mnemonic in ("ld8", "ld64"):
+            args = self._normalize_load(args)
+        elif mnemonic in ("st8", "st64"):
+            args = self._normalize_store(args)
+
+        if len(args) != len(spec.operands):
+            raise self._error(
+                f"{mnemonic} expects {len(spec.operands)} operands, got {len(args)}"
+            )
+
+        operands: list[int] = []
+        reloc: tuple[RelocType, str, int] | None = None
+        reloc_field_offset = 0
+        field_pos = 1  # byte position of the current field within the encoding
+        for kind, arg in zip(spec.operands, args):
+            if kind is Operand.REG:
+                operands.append(self._parse_register(arg))
+            elif kind is Operand.IMM64:
+                if arg.startswith("@"):
+                    symbol, addend = self._parse_symref(arg[1:])
+                    reloc = (RelocType.ABS64, symbol, addend)
+                    reloc_field_offset = field_pos
+                    operands.append(0)
+                else:
+                    operands.append(self._parse_int(arg))
+            elif kind is Operand.IMM32:
+                operands.append(self._parse_int(arg))
+            else:  # REL32: symbol or explicit numeric offset
+                if _SYMBOL_RE.match(arg):
+                    reloc = (RelocType.PCREL32, arg, 0)
+                    reloc_field_offset = field_pos
+                    operands.append(0)
+                else:
+                    operands.append(self._parse_int(arg))
+            field_pos += kind.size
+
+        try:
+            data = encode_fields(spec, tuple(operands))
+        except ValueError as exc:
+            raise self._error(str(exc)) from exc
+        offset = self.module.append("text", data)
+        if reloc is not None:
+            rtype, symbol, addend = reloc
+            self.module.relocate(
+                "text", offset + reloc_field_offset, rtype, symbol, addend
+            )
+
+    def _normalize_load(self, args: list[str]) -> list[str]:
+        if len(args) != 2:
+            raise self._error("load expects: rd, [base+disp]")
+        base, disp = self._parse_mem(args[1])
+        return [args[0], base, disp]
+
+    def _normalize_store(self, args: list[str]) -> list[str]:
+        if len(args) != 2:
+            raise self._error("store expects: [base+disp], rs")
+        base, disp = self._parse_mem(args[0])
+        return [base, args[1], disp]
+
+    def _parse_mem(self, text: str) -> tuple[str, str]:
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise self._error(f"bad memory operand {text!r}")
+        base, sign, disp = match.groups()
+        if disp is None:
+            return base, "0"
+        value = self._parse_int(disp)
+        if sign == "-":
+            value = -value
+        return base, str(value)
+
+    # ------------------------------------------------------------------
+    # token parsing
+
+    def _split_args(self, text: str) -> list[str]:
+        args: list[str] = []
+        depth = 0
+        in_string = False
+        escaped = False
+        current = []
+        for ch in text:
+            if in_string:
+                current.append(ch)
+                if escaped:
+                    escaped = False
+                elif ch == "\\":
+                    escaped = True
+                elif ch == '"':
+                    in_string = False
+                continue
+            if ch == '"':
+                in_string = True
+                current.append(ch)
+            elif ch == "[":
+                depth += 1
+                current.append(ch)
+            elif ch == "]":
+                depth -= 1
+                current.append(ch)
+            elif ch == "," and depth == 0:
+                args.append("".join(current).strip())
+                current = []
+            else:
+                current.append(ch)
+        tail = "".join(current).strip()
+        if tail:
+            args.append(tail)
+        return args
+
+    def _parse_register(self, text: str) -> int:
+        name = text.strip().lower()
+        if name in REGISTER_ALIASES:
+            return REGISTER_ALIASES[name]
+        if name.startswith("r") and name[1:].isdigit():
+            index = int(name[1:])
+            if index < 16:
+                return index
+        raise self._error(f"bad register {text!r}")
+
+    def _parse_int(self, text: str) -> int:
+        text = text.strip()
+        try:
+            if len(text) >= 3 and text.startswith("'") and text.endswith("'"):
+                body = text[1:-1].encode().decode("unicode_escape")
+                if len(body) != 1:
+                    raise ValueError
+                return ord(body)
+            return int(text, 0)
+        except ValueError:
+            raise self._error(f"bad integer {text!r}") from None
+
+    def _parse_symref(self, text: str) -> tuple[str, int]:
+        """Parse ``symbol``, ``symbol+N`` or ``symbol-N``."""
+        match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*(?:([+-])\s*(\d+|0x[0-9a-fA-F]+))?$", text.strip())
+        if not match:
+            raise self._error(f"bad symbol reference {text!r}")
+        name, sign, num = match.groups()
+        addend = int(num, 0) if num else 0
+        if sign == "-":
+            addend = -addend
+        return name, addend
+
+    def _parse_string(self, text: str) -> bytes:
+        text = text.strip()
+        if len(text) < 2 or not text.startswith('"') or not text.endswith('"'):
+            raise self._error(f"bad string literal {text!r}")
+        return text[1:-1].encode().decode("unicode_escape").encode("latin-1")
+
+
+def assemble(source: str, module_name: str = "a.o") -> ObjectModule:
+    """Convenience wrapper: assemble ``source`` into a fresh module."""
+    return Assembler(module_name).assemble(source)

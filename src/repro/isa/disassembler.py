@@ -1,0 +1,97 @@
+"""Linear-sweep disassembly helpers for VM64 code.
+
+Used by the static analyzer (basic-block discovery), the tracer (block
+sizing), and debugging tools.  Decoding is tolerant at the API level:
+:func:`disassemble_range` stops at the first undecodable byte and
+reports how far it got, which is what a disassembler sees when it walks
+into data or wiped code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .encoding import DecodeError, decode
+from .instructions import (
+    BLOCK_TERMINATORS,
+    CONDITIONAL_BRANCHES,
+    DIRECT_BRANCHES,
+    Instruction,
+)
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """An instruction plus the address it was decoded at."""
+
+    address: int
+    instruction: Instruction
+
+    @property
+    def length(self) -> int:
+        return self.instruction.length
+
+    @property
+    def end(self) -> int:
+        return self.address + self.instruction.length
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instruction.mnemonic
+
+    def is_terminator(self) -> bool:
+        return self.mnemonic in BLOCK_TERMINATORS
+
+    def is_conditional(self) -> bool:
+        return self.mnemonic in CONDITIONAL_BRANCHES
+
+    def branch_target(self) -> int | None:
+        """Absolute target of a direct branch/call, else ``None``."""
+        if self.mnemonic in DIRECT_BRANCHES:
+            return self.end + self.instruction.operands[-1]
+        return None
+
+    def lea_target(self) -> int | None:
+        """Absolute address computed by ``lea``, else ``None``."""
+        if self.mnemonic == "lea":
+            return self.end + self.instruction.operands[1]
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.address:#010x}: {self.instruction}"
+
+
+def disassemble_one(data: bytes, address: int, base: int = 0) -> DecodedInstruction:
+    """Decode the instruction at virtual ``address``.
+
+    ``data`` holds the bytes of the region starting at virtual ``base``.
+    """
+    instruction = decode(data, address - base)
+    return DecodedInstruction(address, instruction)
+
+
+def disassemble_range(
+    data: bytes, start: int, end: int, base: int = 0
+) -> tuple[list[DecodedInstruction], int]:
+    """Linearly decode ``[start, end)``.
+
+    Returns the decoded instructions and the address decoding stopped
+    at (== ``end`` when everything decoded cleanly).
+    """
+    out: list[DecodedInstruction] = []
+    address = start
+    while address < end:
+        try:
+            decoded = disassemble_one(data, address, base)
+        except DecodeError:
+            break
+        if decoded.end > end:
+            break
+        out.append(decoded)
+        address = decoded.end
+    return out, address
+
+
+def format_listing(instructions: list[DecodedInstruction]) -> str:
+    """Human-readable multi-line listing."""
+    return "\n".join(str(ins) for ins in instructions)

@@ -1,0 +1,118 @@
+"""Binary encoding and decoding of VM64 instructions.
+
+The encoding is deliberately simple and byte-exact:
+
+* byte 0 is the opcode;
+* operand fields follow in spec order, little-endian;
+* ``IMM32``/``REL32`` fields are signed 32-bit, ``IMM64`` unsigned 64-bit.
+
+Decoding is fail-fast: an unknown opcode or a truncated operand field
+raises :class:`DecodeError`, which the CPU maps to ``SIGILL`` — exactly
+what happens on x86 when control flow lands on wiped (garbage) bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .instructions import (
+    NUM_REGISTERS,
+    SPEC_BY_OPCODE,
+    Instruction,
+    InstructionSpec,
+    Operand,
+)
+
+_U64 = struct.Struct("<Q")
+_I32 = struct.Struct("<i")
+
+_MASK64 = (1 << 64) - 1
+
+
+class DecodeError(ValueError):
+    """Raised when bytes do not decode to a valid VM64 instruction."""
+
+
+class EncodeError(ValueError):
+    """Raised when operand values do not fit an instruction's fields."""
+
+
+def encode(instruction: Instruction) -> bytes:
+    """Encode a decoded instruction back to its byte representation."""
+    return encode_fields(instruction.spec, instruction.operands)
+
+
+def encode_fields(spec: InstructionSpec, operands: tuple[int, ...]) -> bytes:
+    """Encode ``spec`` with the given operand values."""
+    if len(operands) != len(spec.operands):
+        raise EncodeError(
+            f"{spec.mnemonic} expects {len(spec.operands)} operands, "
+            f"got {len(operands)}"
+        )
+    out = bytearray([spec.opcode])
+    for kind, value in zip(spec.operands, operands):
+        if kind is Operand.REG:
+            if not 0 <= value < NUM_REGISTERS:
+                raise EncodeError(f"register r{value} out of range")
+            out.append(value)
+        elif kind is Operand.IMM64:
+            out += _U64.pack(value & _MASK64)
+        else:  # IMM32 / REL32
+            if not -(1 << 31) <= value < (1 << 31):
+                raise EncodeError(
+                    f"{spec.mnemonic}: immediate {value:#x} does not fit 32 bits"
+                )
+            out += _I32.pack(value)
+    return bytes(out)
+
+
+def decode(data: bytes, offset: int = 0) -> Instruction:
+    """Decode one instruction from ``data`` starting at ``offset``.
+
+    Raises :class:`DecodeError` on an unknown opcode, an out-of-range
+    register field, or if the buffer ends mid-instruction.
+    """
+    if offset >= len(data):
+        raise DecodeError("empty instruction stream")
+    opcode = data[offset]
+    spec = SPEC_BY_OPCODE.get(opcode)
+    if spec is None:
+        raise DecodeError(f"unknown opcode {opcode:#04x} at offset {offset:#x}")
+    if offset + spec.length > len(data):
+        raise DecodeError(
+            f"truncated {spec.mnemonic} at offset {offset:#x}: "
+            f"need {spec.length} bytes, have {len(data) - offset}"
+        )
+    pos = offset + 1
+    operands = []
+    for kind in spec.operands:
+        if kind is Operand.REG:
+            reg = data[pos]
+            if reg >= NUM_REGISTERS:
+                raise DecodeError(
+                    f"register index {reg} out of range in {spec.mnemonic} "
+                    f"at offset {offset:#x}"
+                )
+            operands.append(reg)
+            pos += 1
+        elif kind is Operand.IMM64:
+            operands.append(_U64.unpack_from(data, pos)[0])
+            pos += 8
+        else:
+            operands.append(_I32.unpack_from(data, pos)[0])
+            pos += 4
+    return Instruction(spec, tuple(operands))
+
+
+def instruction_length_at(data: bytes, offset: int = 0) -> int:
+    """Return the encoded length of the instruction at ``offset``.
+
+    Only the opcode byte is inspected; raises :class:`DecodeError` for
+    unknown opcodes.
+    """
+    if offset >= len(data):
+        raise DecodeError("empty instruction stream")
+    spec = SPEC_BY_OPCODE.get(data[offset])
+    if spec is None:
+        raise DecodeError(f"unknown opcode {data[offset]:#04x}")
+    return spec.length

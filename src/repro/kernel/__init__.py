@@ -1,0 +1,91 @@
+"""Simulated OS kernel: memory, processes, signals, syscalls, CPU, network."""
+
+from .memory import AddressSpace, FileBacking, MemoryFault, PAGE_SIZE, VMA
+from .process import (
+    FP,
+    LoadedModule,
+    Process,
+    ProcessState,
+    RegisterFile,
+    SP,
+)
+from .signals import (
+    FRAME_LT,
+    FRAME_REGS,
+    FRAME_RIP,
+    FRAME_SIZE,
+    FRAME_ZF,
+    PendingSignal,
+    SigAction,
+    Signal,
+)
+from .filesystem import (
+    FileHandle,
+    InMemoryFS,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+)
+from .network import (
+    Connection,
+    Endpoint,
+    ListeningSocket,
+    NetworkError,
+    NetworkStack,
+    SocketDescriptor,
+)
+from .syscalls import Block, PROT_EXEC, PROT_READ, PROT_WRITE, SecurityEvent, Sys
+from .loader import Loader, LoaderError
+from .cpu import CPU
+from .kernel import HostSocket, Kernel, KernelConfig
+
+__all__ = [
+    "AddressSpace",
+    "Block",
+    "CPU",
+    "Connection",
+    "Endpoint",
+    "FP",
+    "FRAME_LT",
+    "FRAME_REGS",
+    "FRAME_RIP",
+    "FRAME_SIZE",
+    "FRAME_ZF",
+    "FileBacking",
+    "FileHandle",
+    "HostSocket",
+    "InMemoryFS",
+    "Kernel",
+    "KernelConfig",
+    "ListeningSocket",
+    "LoadedModule",
+    "Loader",
+    "LoaderError",
+    "MemoryFault",
+    "NetworkError",
+    "NetworkStack",
+    "O_APPEND",
+    "O_CREAT",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "PAGE_SIZE",
+    "PROT_EXEC",
+    "PROT_READ",
+    "PROT_WRITE",
+    "PendingSignal",
+    "Process",
+    "ProcessState",
+    "RegisterFile",
+    "SP",
+    "SecurityEvent",
+    "SigAction",
+    "Signal",
+    "SocketDescriptor",
+    "Sys",
+    "VMA",
+]

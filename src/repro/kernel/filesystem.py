@@ -1,0 +1,122 @@
+"""In-memory filesystem shared by all guest processes.
+
+Provides regular files (configs, served web content, WebDAV uploads)
+plus a ``/tmp`` subtree standing in for the tmpfs the paper uses to
+store CRIU images.  The host-side API (:meth:`InMemoryFS.write_file`
+etc.) is how experiments stage configs and inspect uploads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .process import Descriptor
+
+# open(2)-style flags
+O_RDONLY = 0x0
+O_WRONLY = 0x1
+O_RDWR = 0x2
+O_CREAT = 0x40
+O_TRUNC = 0x200
+O_APPEND = 0x400
+
+
+class FileSystemError(Exception):
+    """Host-level filesystem misuse (guest errors become -1 returns)."""
+
+
+@dataclass
+class InMemoryFS:
+    """Flat path -> bytes store with POSIX-flavoured open semantics."""
+
+    files: dict[str, bytearray] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # host-side API
+
+    def write_file(self, path: str, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        self.files[_norm(path)] = bytearray(data)
+
+    def read_file(self, path: str) -> bytes:
+        path = _norm(path)
+        if path not in self.files:
+            raise FileSystemError(f"no such file: {path}")
+        return bytes(self.files[path])
+
+    def exists(self, path: str) -> bool:
+        return _norm(path) in self.files
+
+    def unlink(self, path: str) -> bool:
+        return self.files.pop(_norm(path), None) is not None
+
+    def listdir(self, prefix: str) -> list[str]:
+        prefix = _norm(prefix).rstrip("/") + "/"
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # guest-side open
+
+    def open(self, path: str, flags: int) -> "FileHandle | None":
+        path = _norm(path)
+        exists = path in self.files
+        if not exists:
+            if not flags & O_CREAT:
+                return None
+            self.files[path] = bytearray()
+        elif flags & O_TRUNC and flags & (O_WRONLY | O_RDWR):
+            self.files[path] = bytearray()
+        handle = FileHandle(self, path, flags)
+        if flags & O_APPEND:
+            handle.offset = len(self.files[path])
+        return handle
+
+
+@dataclass
+class FileHandle(Descriptor):
+    """An open regular file."""
+
+    fs: InMemoryFS
+    path: str
+    flags: int
+    offset: int = 0
+
+    @property
+    def _writable(self) -> bool:
+        return bool(self.flags & (O_WRONLY | O_RDWR))
+
+    @property
+    def _readable(self) -> bool:
+        return (self.flags & 0x3) in (O_RDONLY, O_RDWR)
+
+    def read(self, size: int) -> bytes | None:
+        if not self._readable:
+            return None
+        data = self.fs.files.get(self.path)
+        if data is None:
+            return None
+        chunk = bytes(data[self.offset:self.offset + size])
+        self.offset += len(chunk)
+        return chunk
+
+    def write(self, data: bytes) -> int | None:
+        if not self._writable:
+            return None
+        buf = self.fs.files.get(self.path)
+        if buf is None:
+            return None
+        end = self.offset + len(data)
+        if end > len(buf):
+            buf += b"\x00" * (end - len(buf))
+        buf[self.offset:end] = data
+        self.offset = end
+        return len(data)
+
+
+def _norm(path: str) -> str:
+    if not path.startswith("/"):
+        path = "/" + path
+    while "//" in path:
+        path = path.replace("//", "/")
+    return path

@@ -1,0 +1,165 @@
+"""Process model: registers, state machine, descriptors, signals.
+
+A :class:`Process` is everything CRIU would checkpoint: the register
+file, the address space, installed sigactions, the file-descriptor
+table, and the metadata that ends up in the ``core``/``mm`` images
+(binary name, loaded-module map).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable
+
+from ..binfmt.self_format import SelfImage
+from .memory import AddressSpace
+from .signals import PendingSignal, SigAction, Signal
+
+NUM_REGISTERS = 16
+SP = 15
+FP = 14
+
+
+class RegisterFile:
+    """Sixteen 64-bit registers plus ``rip`` and comparison flags."""
+
+    __slots__ = ("gpr", "rip", "zf", "lt")
+
+    def __init__(self) -> None:
+        self.gpr = [0] * NUM_REGISTERS
+        self.rip = 0
+        self.zf = False   # last cmp: equal
+        self.lt = False   # last cmp: signed less-than
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"gpr": list(self.gpr), "rip": self.rip, "zf": self.zf, "lt": self.lt}
+
+    def load_snapshot(self, state: dict[str, Any]) -> None:
+        self.gpr = list(state["gpr"])
+        self.rip = state["rip"]
+        self.zf = bool(state["zf"])
+        self.lt = bool(state["lt"])
+
+    def clone(self) -> "RegisterFile":
+        other = RegisterFile()
+        other.load_snapshot(self.snapshot())
+        return other
+
+
+class ProcessState(Enum):
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    FROZEN = "frozen"      # stopped for checkpointing (ptrace/criu freeze)
+    ZOMBIE = "zombie"      # exited, waiting to be reaped
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class LoadedModule:
+    """A binary image mapped into the process (one ``/proc/maps`` module)."""
+
+    image: SelfImage
+    load_base: int
+
+    @property
+    def name(self) -> str:
+        return self.image.name
+
+    def contains(self, address: int) -> bool:
+        for seg in self.image.segments:
+            if seg.vaddr + self.load_base <= address < seg.end + self.load_base:
+                return True
+        return False
+
+    def text_bounds(self) -> tuple[int, int]:
+        start, end = self.image.text_range()
+        return start + self.load_base, end + self.load_base
+
+
+@dataclass
+class Descriptor:
+    """Base class for file-descriptor table entries."""
+
+    def clone_for_fork(self) -> "Descriptor":
+        """fork() shares the underlying open file description."""
+        return self
+
+
+class Process:
+    """One guest process."""
+
+    def __init__(self, pid: int, ppid: int, binary: str, memory: AddressSpace):
+        self.pid = pid
+        self.ppid = ppid
+        self.binary = binary
+        self.memory = memory
+        self.regs = RegisterFile()
+        self.state = ProcessState.RUNNABLE
+        self.exit_code: int | None = None
+        self.term_signal: Signal | None = None
+        self.fds: dict[int, Descriptor] = {}
+        self.next_fd = 3
+        self.sigactions: dict[int, SigAction] = {}
+        self.pending_signals: deque[PendingSignal] = deque()
+        self.modules: list[LoadedModule] = []
+        self.children: list[int] = []
+        self.stdout = bytearray()
+        self.wake_predicate: Callable[[], bool] | None = None
+        self.wake_deadline: int | None = None
+        #: absolute deadline of an in-progress nanosleep (restartable syscall)
+        self.sleep_until: int | None = None
+        #: seccomp-style allow-list of syscall numbers; None = everything.
+        #: A call outside the set raises SIGSYS (kill by default).
+        self.syscall_filter: frozenset[int] | None = None
+        self.instructions_retired = 0
+        #: set by the CPU when entering a fresh basic block (tracing support)
+        self.block_start: int | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in (ProcessState.ZOMBIE, ProcessState.DEAD)
+
+    def allocate_fd(self, descriptor: Descriptor) -> int:
+        fd = self.next_fd
+        self.next_fd += 1
+        self.fds[fd] = descriptor
+        return fd
+
+    def module_for(self, address: int) -> LoadedModule | None:
+        for module in self.modules:
+            if module.contains(address):
+                return module
+        return None
+
+    def executable_module(self) -> LoadedModule:
+        """The main binary's module (first loaded)."""
+        if not self.modules:
+            raise RuntimeError(f"pid {self.pid}: no modules loaded")
+        return self.modules[0]
+
+    def block(self, predicate: Callable[[], bool]) -> None:
+        self.state = ProcessState.BLOCKED
+        self.wake_predicate = predicate
+
+    def maybe_wake(self) -> bool:
+        if self.state is not ProcessState.BLOCKED or self.wake_predicate is None:
+            return False
+        if self.wake_predicate():
+            self.state = ProcessState.RUNNABLE
+            self.wake_predicate = None
+            self.wake_deadline = None
+            return True
+        return False
+
+    def stdout_text(self) -> str:
+        return self.stdout.decode("utf-8", errors="replace")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Process pid={self.pid} binary={self.binary!r} "
+            f"state={self.state.value}>"
+        )

@@ -1,0 +1,74 @@
+"""Signals: numbers, actions, sigframe layout.
+
+DynaCut's runtime behaviour hinges on faithful signal semantics:
+
+* executing a patched ``int3`` raises ``SIGTRAP`` with the saved
+  instruction pointer pointing *after* the one-byte trap (x86
+  semantics), so handlers recover the trap site as ``rip - 1``;
+* a handler may rewrite the saved ``rip`` in the sigframe before
+  returning, redirecting execution (the "respond 403 instead of
+  crashing" policy);
+* ``rt_sigreturn`` restores the full register file from the sigframe.
+
+Sigframe layout (written to the stack on delivery)::
+
+    sp -> [ restorer address ]      8 bytes (handler's return address)
+          [ saved rip        ]      offset 0 within the frame
+          [ saved zf, lt     ]      offsets 8, 16
+          [ r0 .. r15        ]      offsets 24 .. 144
+
+The handler receives the signal number in ``r1`` and the frame address
+in ``r2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Signal(IntEnum):
+    SIGILL = 4
+    SIGTRAP = 5
+    SIGFPE = 8
+    SIGKILL = 9
+    SIGSEGV = 11
+    SIGTERM = 15
+    SIGCHLD = 17
+    SIGSTOP = 19
+    SIGUSR1 = 30
+    SIGSYS = 31          # raised on syscall-filter violations (seccomp)
+
+
+#: Signals whose default action terminates the process.
+FATAL_BY_DEFAULT = frozenset(
+    {Signal.SIGILL, Signal.SIGTRAP, Signal.SIGFPE, Signal.SIGKILL,
+     Signal.SIGSEGV, Signal.SIGTERM, Signal.SIGSYS}
+)
+
+#: Signals that cannot be caught or ignored.
+UNCATCHABLE = frozenset({Signal.SIGKILL, Signal.SIGSTOP})
+
+#: Sigframe field offsets.
+FRAME_RIP = 0
+FRAME_ZF = 8
+FRAME_LT = 16
+FRAME_REGS = 24
+FRAME_SIZE = 24 + 16 * 8
+
+
+@dataclass
+class SigAction:
+    """An installed signal handler (the ``sigaction`` of the core image)."""
+
+    handler: int        # guest address of the handler function
+    restorer: int       # guest address of the sigreturn trampoline
+    mask: int = 0       # reserved; kept for image fidelity
+
+
+@dataclass(frozen=True)
+class PendingSignal:
+    """A queued signal with the fault address that produced it (if any)."""
+
+    signal: Signal
+    fault_address: int = 0

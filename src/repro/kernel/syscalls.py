@@ -1,0 +1,481 @@
+"""Guest syscall interface.
+
+Calling convention: syscall number in ``r0``, arguments in ``r1..r6``,
+result in ``r0`` (negative values are errors, -1 unless noted).
+
+Blocking syscalls (``accept``, ``recv``, ``poll``, ``waitpid``,
+``nanosleep``) are restartable: when the operation cannot complete, the
+CPU rewinds ``rip`` to the ``syscall`` instruction and the process
+blocks on a wake predicate; the syscall re-executes in full once the
+predicate fires.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Callable
+
+from .filesystem import FileHandle
+from .memory import MemoryFault
+from .network import Endpoint, SocketDescriptor
+from .process import Process, ProcessState
+from .signals import PendingSignal, SigAction, Signal, UNCATCHABLE
+from .signals import FRAME_LT, FRAME_REGS, FRAME_RIP, FRAME_ZF
+
+if TYPE_CHECKING:
+    from .kernel import Kernel
+
+
+class Sys(IntEnum):
+    """Syscall numbers."""
+
+    EXIT = 1
+    WRITE = 2
+    READ = 3
+    OPEN = 4
+    CLOSE = 5
+    SOCKET = 6
+    BIND = 7
+    LISTEN = 8
+    ACCEPT = 9
+    SEND = 10
+    RECV = 11
+    FORK = 12
+    GETPID = 13
+    MMAP = 14
+    MUNMAP = 15
+    SIGACTION = 16
+    SIGRETURN = 17
+    NANOSLEEP = 18
+    KILL = 21
+    WAITPID = 22
+    CLOCK_GETTIME = 23
+    UNLINK = 24
+    EXECVE = 25
+    GETPPID = 26
+    POLL = 28
+    MPROTECT = 29
+
+
+#: mmap prot bits
+PROT_READ = 1
+PROT_WRITE = 2
+PROT_EXEC = 4
+
+
+@dataclass(frozen=True)
+class Block:
+    """Returned by a handler when the syscall must wait.
+
+    ``deadline`` (virtual ns) is set for time-based waits so the
+    scheduler can fast-forward the clock when every process sleeps.
+    """
+
+    predicate: Callable[[], bool]
+    deadline: int | None = None
+
+
+@dataclass(frozen=True)
+class SecurityEvent:
+    """A sensitive action observed by the kernel (for the security eval)."""
+
+    pid: int
+    kind: str          # "execve", "fork", ...
+    detail: str
+    clock_ns: int
+
+
+class SyscallTable:
+    """Dispatches and implements all guest syscalls."""
+
+    def __init__(self, kernel: "Kernel"):
+        self.kernel = kernel
+        self._handlers: dict[int, Callable[[Process], int | Block]] = {
+            Sys.EXIT: self._sys_exit,
+            Sys.WRITE: self._sys_write,
+            Sys.READ: self._sys_read,
+            Sys.OPEN: self._sys_open,
+            Sys.CLOSE: self._sys_close,
+            Sys.SOCKET: self._sys_socket,
+            Sys.BIND: self._sys_bind,
+            Sys.LISTEN: self._sys_listen,
+            Sys.ACCEPT: self._sys_accept,
+            Sys.SEND: self._sys_send,
+            Sys.RECV: self._sys_recv,
+            Sys.FORK: self._sys_fork,
+            Sys.GETPID: self._sys_getpid,
+            Sys.MMAP: self._sys_mmap,
+            Sys.MUNMAP: self._sys_munmap,
+            Sys.SIGACTION: self._sys_sigaction,
+            Sys.SIGRETURN: self._sys_sigreturn,
+            Sys.NANOSLEEP: self._sys_nanosleep,
+            Sys.KILL: self._sys_kill,
+            Sys.WAITPID: self._sys_waitpid,
+            Sys.CLOCK_GETTIME: self._sys_clock_gettime,
+            Sys.UNLINK: self._sys_unlink,
+            Sys.EXECVE: self._sys_execve,
+            Sys.GETPPID: self._sys_getppid,
+            Sys.POLL: self._sys_poll,
+            Sys.MPROTECT: self._sys_mprotect,
+        }
+
+    # ------------------------------------------------------------------
+
+    def dispatch(self, proc: Process) -> int | Block | None:
+        """Execute the syscall selected by ``r0``.
+
+        Returns the result value, a :class:`Block`, or ``None`` when the
+        process no longer runs (exit / sigreturn already set state, or a
+        seccomp-style filter violation raised SIGSYS).
+        """
+        number = proc.regs.gpr[0]
+        if proc.syscall_filter is not None and number not in proc.syscall_filter:
+            self.kernel.log_security_event(
+                proc.pid, "seccomp-violation", f"syscall {number}"
+            )
+            proc.pending_signals.append(PendingSignal(Signal.SIGSYS, number))
+            return None
+        tracer = self.kernel.tracers.get(proc.pid)
+        if tracer is not None:
+            on_syscall = getattr(tracer, "on_syscall", None)
+            if on_syscall is not None:
+                on_syscall(proc, number)
+        handler = self._handlers.get(number)
+        if handler is None:
+            return -38  # ENOSYS
+        return handler(proc)
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _arg(self, proc: Process, index: int) -> int:
+        return proc.regs.gpr[index]
+
+    def _read_path(self, proc: Process, pointer: int) -> str | None:
+        try:
+            return proc.memory.read_cstring(pointer).decode("utf-8")
+        except (MemoryFault, UnicodeDecodeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+
+    def _sys_exit(self, proc: Process) -> None:
+        self.kernel.terminate(proc, exit_code=self._arg(proc, 1) & 0xFF)
+        return None
+
+    def _sys_fork(self, proc: Process) -> int:
+        child = self.kernel.fork(proc)
+        self.kernel.log_security_event(proc.pid, "fork", f"child={child.pid}")
+        # child resumes after the syscall with r0 = 0
+        child.regs.gpr[0] = 0
+        child.regs.rip = proc.regs.rip
+        return child.pid
+
+    def _sys_getpid(self, proc: Process) -> int:
+        return proc.pid
+
+    def _sys_getppid(self, proc: Process) -> int:
+        return proc.ppid
+
+    def _sys_waitpid(self, proc: Process) -> int | Block:
+        target = self._arg(proc, 1)
+
+        def find_zombie() -> Process | None:
+            for pid in proc.children:
+                child = self.kernel.processes.get(pid)
+                if child is None:
+                    continue
+                if child.state is ProcessState.ZOMBIE and (
+                    target in (0, 2**64 - 1) or target == pid
+                ):
+                    return child
+            return None
+
+        zombie = find_zombie()
+        if zombie is None:
+            if not proc.children:
+                return -10  # ECHILD
+            return Block(lambda: find_zombie() is not None)
+        self.kernel.reap(zombie)
+        return zombie.pid
+
+    def _sys_kill(self, proc: Process) -> int:
+        pid = self._arg(proc, 1)
+        sig = self._arg(proc, 2)
+        target = self.kernel.processes.get(pid)
+        if target is None or not target.alive:
+            return -3  # ESRCH
+        try:
+            signal = Signal(sig)
+        except ValueError:
+            return -22  # EINVAL
+        self.kernel.post_signal(target, PendingSignal(signal))
+        return 0
+
+    def _sys_execve(self, proc: Process) -> int:
+        path = self._read_path(proc, self._arg(proc, 1)) or "?"
+        self.kernel.log_security_event(proc.pid, "execve", path)
+        return -1  # the simulated kernel refuses exec; the event is the point
+
+    # ------------------------------------------------------------------
+    # files
+
+    def _sys_open(self, proc: Process) -> int:
+        path = self._read_path(proc, self._arg(proc, 1))
+        if path is None:
+            return -14  # EFAULT
+        handle = self.kernel.fs.open(path, self._arg(proc, 2))
+        if handle is None:
+            return -2  # ENOENT
+        return proc.allocate_fd(handle)
+
+    def _sys_close(self, proc: Process) -> int:
+        fd = self._arg(proc, 1)
+        descriptor = proc.fds.pop(fd, None)
+        if descriptor is None:
+            return -9  # EBADF
+        if isinstance(descriptor, SocketDescriptor):
+            if descriptor.endpoint is not None:
+                descriptor.endpoint.close()
+            if descriptor.listener is not None:
+                self.kernel.net.release_port(descriptor.listener.port)
+        return 0
+
+    def _sys_write(self, proc: Process) -> int:
+        fd, buf, size = (self._arg(proc, i) for i in (1, 2, 3))
+        try:
+            data = proc.memory.read(buf, size) if size else b""
+        except MemoryFault:
+            return -14
+        if fd in (1, 2):
+            proc.stdout += data
+            return len(data)
+        descriptor = proc.fds.get(fd)
+        if isinstance(descriptor, FileHandle):
+            result = descriptor.write(data)
+            return -9 if result is None else result
+        if isinstance(descriptor, SocketDescriptor) and descriptor.endpoint:
+            return descriptor.endpoint.send(data)
+        return -9
+
+    def _sys_read(self, proc: Process) -> int | Block:
+        fd, buf, size = (self._arg(proc, i) for i in (1, 2, 3))
+        descriptor = proc.fds.get(fd)
+        if isinstance(descriptor, FileHandle):
+            data = descriptor.read(size)
+            if data is None:
+                return -9
+            try:
+                proc.memory.write(buf, data)
+            except MemoryFault:
+                return -14
+            return len(data)
+        if isinstance(descriptor, SocketDescriptor) and descriptor.endpoint:
+            return self._recv_endpoint(proc, descriptor.endpoint, buf, size)
+        return -9
+
+    def _sys_unlink(self, proc: Process) -> int:
+        path = self._read_path(proc, self._arg(proc, 1))
+        if path is None:
+            return -14
+        return 0 if self.kernel.fs.unlink(path) else -2
+
+    # ------------------------------------------------------------------
+    # sockets
+
+    def _sys_socket(self, proc: Process) -> int:
+        return proc.allocate_fd(SocketDescriptor())
+
+    def _socket_arg(self, proc: Process) -> SocketDescriptor | None:
+        descriptor = proc.fds.get(self._arg(proc, 1))
+        return descriptor if isinstance(descriptor, SocketDescriptor) else None
+
+    def _sys_bind(self, proc: Process) -> int:
+        sock = self._socket_arg(proc)
+        if sock is None:
+            return -9
+        port = self._arg(proc, 2)
+        return 0 if self.kernel.net.bind(sock, port) else -98  # EADDRINUSE
+
+    def _sys_listen(self, proc: Process) -> int:
+        sock = self._socket_arg(proc)
+        if sock is None:
+            return -9
+        return 0 if self.kernel.net.listen(sock) else -22
+
+    def _sys_accept(self, proc: Process) -> int | Block:
+        sock = self._socket_arg(proc)
+        if sock is None or sock.listener is None:
+            return -9
+        listener = sock.listener
+        if not listener.has_pending:
+            return Block(lambda: listener.has_pending or listener.closed)
+        endpoint = self.kernel.net.accept(sock)
+        if endpoint is None:
+            return -11
+        conn_sock = SocketDescriptor()
+        conn_sock.endpoint = endpoint
+        return proc.allocate_fd(conn_sock)
+
+    def _sys_send(self, proc: Process) -> int:
+        sock = self._socket_arg(proc)
+        if sock is None or sock.endpoint is None:
+            return -9
+        buf, size = self._arg(proc, 2), self._arg(proc, 3)
+        try:
+            data = proc.memory.read(buf, size) if size else b""
+        except MemoryFault:
+            return -14
+        return sock.endpoint.send(data)
+
+    def _sys_recv(self, proc: Process) -> int | Block:
+        sock = self._socket_arg(proc)
+        if sock is None or sock.endpoint is None:
+            return -9
+        return self._recv_endpoint(
+            proc, sock.endpoint, self._arg(proc, 2), self._arg(proc, 3)
+        )
+
+    def _recv_endpoint(
+        self, proc: Process, endpoint: Endpoint, buf: int, size: int
+    ) -> int | Block:
+        if not endpoint.recv_buffer:
+            if endpoint.closed or endpoint.peer is None or endpoint.peer.closed:
+                return 0  # EOF
+            return Block(lambda: endpoint.readable)
+        data = endpoint.recv(size)
+        try:
+            proc.memory.write(buf, data)
+        except MemoryFault:
+            return -14
+        return len(data)
+
+    def _sys_poll(self, proc: Process) -> int | Block:
+        """poll(fds_ptr, count): block until some fd is ready; return index.
+
+        Ready means: connected socket with data/EOF, or listener with a
+        pending connection.
+        """
+        fds_ptr, count = self._arg(proc, 1), self._arg(proc, 2)
+        if count == 0 or count > 1024:
+            return -22
+        try:
+            raw = proc.memory.read(fds_ptr, count * 8)
+        except MemoryFault:
+            return -14
+        fds = list(struct.unpack(f"<{count}Q", raw))
+
+        def ready_index() -> int | None:
+            for index, fd in enumerate(fds):
+                descriptor = proc.fds.get(fd)
+                if not isinstance(descriptor, SocketDescriptor):
+                    continue
+                if descriptor.endpoint is not None and descriptor.endpoint.readable:
+                    return index
+                if descriptor.listener is not None and (
+                    descriptor.listener.has_pending
+                ):
+                    return index
+            return None
+
+        index = ready_index()
+        if index is None:
+            return Block(lambda: ready_index() is not None)
+        return index
+
+    # ------------------------------------------------------------------
+    # memory
+
+    def _sys_mmap(self, proc: Process) -> int:
+        addr, size, prot = (self._arg(proc, i) for i in (1, 2, 3))
+        if size == 0:
+            return -22
+        perms = "".join(
+            flag if prot & bit else "-"
+            for flag, bit in (("r", PROT_READ), ("w", PROT_WRITE), ("x", PROT_EXEC))
+        )
+        if addr == 0:
+            addr = proc.memory.find_free_range(size, hint=0x7000_0000_0000)
+        try:
+            proc.memory.mmap(addr, size, perms, tag="mmap")
+        except (MemoryFault, ValueError):
+            return -22
+        return addr
+
+    def _sys_mprotect(self, proc: Process) -> int:
+        addr, size, prot = (self._arg(proc, i) for i in (1, 2, 3))
+        perms = "".join(
+            flag if prot & bit else "-"
+            for flag, bit in (("r", PROT_READ), ("w", PROT_WRITE), ("x", PROT_EXEC))
+        )
+        if proc.memory.find_vma(addr) is None:
+            return -12  # ENOMEM, like Linux for unmapped ranges
+        try:
+            proc.memory.mprotect(addr, size, perms)
+        except (MemoryFault, ValueError):
+            return -22
+        return 0
+
+    def _sys_munmap(self, proc: Process) -> int:
+        addr, size = self._arg(proc, 1), self._arg(proc, 2)
+        try:
+            proc.memory.munmap(addr, size)
+        except (MemoryFault, ValueError):
+            return -22
+        return 0
+
+    # ------------------------------------------------------------------
+    # signals
+
+    def _sys_sigaction(self, proc: Process) -> int:
+        sig, handler, restorer = (self._arg(proc, i) for i in (1, 2, 3))
+        try:
+            signal = Signal(sig)
+        except ValueError:
+            return -22
+        if signal in UNCATCHABLE:
+            return -22
+        old = proc.sigactions.get(signal)
+        if handler == 0:
+            proc.sigactions.pop(signal, None)
+        else:
+            proc.sigactions[signal] = SigAction(handler, restorer)
+        return old.handler if old else 0
+
+    def _sys_sigreturn(self, proc: Process) -> None:
+        """Restore the register file from the sigframe at ``r1``."""
+        frame = self._arg(proc, 1)
+        try:
+            proc.regs.rip = _read_u64(proc, frame + FRAME_RIP)
+            proc.regs.zf = bool(_read_u64(proc, frame + FRAME_ZF))
+            proc.regs.lt = bool(_read_u64(proc, frame + FRAME_LT))
+            for index in range(16):
+                proc.regs.gpr[index] = _read_u64(proc, frame + FRAME_REGS + 8 * index)
+        except MemoryFault:
+            self.kernel.terminate(proc, signal=Signal.SIGSEGV)
+        return None
+
+    # ------------------------------------------------------------------
+    # time
+
+    def _sys_nanosleep(self, proc: Process) -> int | Block:
+        # the syscall restarts after blocking, so the absolute deadline is
+        # computed once and parked on the process until the sleep finishes
+        deadline = getattr(proc, "sleep_until", None)
+        if deadline is None:
+            deadline = self.kernel.clock_ns + self._arg(proc, 1)
+            proc.sleep_until = deadline
+        if self.kernel.clock_ns >= deadline:
+            proc.sleep_until = None
+            return 0
+        return Block(lambda: self.kernel.clock_ns >= deadline, deadline=deadline)
+
+    def _sys_clock_gettime(self, proc: Process) -> int:
+        return self.kernel.clock_ns
+
+
+def _read_u64(proc: Process, address: int) -> int:
+    return struct.unpack("<Q", proc.memory.read(address, 8))[0]

@@ -1,0 +1,23 @@
+"""MiniC: the small C-like language guest applications are written in."""
+
+from .lexer import LexError, Token, TokenKind, tokenize
+from .parser import ParseError, parse
+from .codegen import (
+    BUILTINS,
+    CompileError,
+    compile_source,
+    compile_to_assembly,
+)
+
+__all__ = [
+    "BUILTINS",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "Token",
+    "TokenKind",
+    "compile_source",
+    "compile_to_assembly",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,181 @@
+"""MiniC abstract syntax tree nodes.
+
+Plain dataclasses; every node carries the source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# expressions
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int
+
+
+@dataclass(frozen=True)
+class NumberExpr(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class StringExpr(Expr):
+    value: str
+
+
+@dataclass(frozen=True)
+class NameExpr(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    op: str                  # "-", "!", "~"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    callee: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class IndexExpr(Expr):
+    """``name[expr]`` — byte load from ``name + expr``."""
+
+    name: str
+    index: Expr
+
+
+# ----------------------------------------------------------------------
+# statements
+
+
+@dataclass(frozen=True)
+class Stmt:
+    line: int
+
+
+@dataclass(frozen=True)
+class VarDeclStmt(Stmt):
+    name: str
+    size: int | None         # array byte size, or None for a scalar
+    init: Expr | None
+
+
+@dataclass(frozen=True)
+class AssignStmt(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IndexAssignStmt(Stmt):
+    """``name[expr] = value;`` — byte store."""
+
+    name: str
+    index: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class IfStmt(Stmt):
+    condition: Expr
+    then_body: tuple[Stmt, ...]
+    else_body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class WhileStmt(Stmt):
+    condition: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class SwitchCase:
+    value: int
+    body: tuple[Stmt, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class SwitchStmt(Stmt):
+    """Integer switch; cases do *not* fall through."""
+
+    selector: Expr
+    cases: tuple[SwitchCase, ...]
+    default: tuple[Stmt, ...] | None
+
+
+@dataclass(frozen=True)
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class ReturnStmt(Stmt):
+    value: Expr | None
+
+
+@dataclass(frozen=True)
+class AsmStmt(Stmt):
+    """Raw VM64 assembly, emitted verbatim into the function body."""
+
+    text: str
+
+
+# ----------------------------------------------------------------------
+# top level
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class GlobalVar:
+    name: str
+    size: int | None          # array byte size (bss) or None for a scalar
+    init: Expr | None         # NumberExpr or StringExpr only
+    line: int
+
+
+@dataclass(frozen=True)
+class ConstDecl:
+    name: str
+    value: int
+    line: int
+
+
+@dataclass
+class Program:
+    functions: list[FuncDecl] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    constants: dict[str, int] = field(default_factory=dict)
+    externs: list[str] = field(default_factory=list)

@@ -1,0 +1,151 @@
+"""MiniC lexer.
+
+MiniC is the small C-like language the guest applications are written
+in.  Everything is a 64-bit integer; byte buffers are manipulated
+through ``load8``/``store8`` builtins; strings are pointers into
+rodata.  The lexer produces a flat token stream with line numbers for
+error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TokenKind(Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {"var", "const", "func", "extern", "if", "else", "while", "switch",
+     "case", "default", "break", "continue", "return", "asm"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_PUNCTS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str | int
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.value!r}, line {self.line})"
+
+
+class LexError(ValueError):
+    """Raised on characters or literals the lexer cannot understand."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex MiniC ``source`` into tokens, ending with one EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isalpha() or ch == "_":
+            end = pos + 1
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[pos:end]
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, line))
+            pos = end
+            continue
+        if ch.isdigit():
+            end = pos + 1
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                end = pos + 2
+                while end < length and source[end] in "0123456789abcdefABCDEF":
+                    end += 1
+            else:
+                while end < length and source[end].isdigit():
+                    end += 1
+            try:
+                value = int(source[pos:end], 0)
+            except ValueError:
+                raise LexError(f"bad number {source[pos:end]!r}", line) from None
+            tokens.append(Token(TokenKind.NUMBER, value, line))
+            pos = end
+            continue
+        if ch == "'":
+            end = pos + 1
+            body = []
+            while end < length and source[end] != "'":
+                if source[end] == "\\" and end + 1 < length:
+                    body.append(source[end:end + 2])
+                    end += 2
+                else:
+                    body.append(source[end])
+                    end += 1
+            if end >= length:
+                raise LexError("unterminated character literal", line)
+            text = "".join(body).encode().decode("unicode_escape")
+            if len(text) != 1:
+                raise LexError(f"bad character literal {''.join(body)!r}", line)
+            tokens.append(Token(TokenKind.NUMBER, ord(text), line))
+            pos = end + 1
+            continue
+        if ch == '"':
+            end = pos + 1
+            body = []
+            while end < length and source[end] != '"':
+                if source[end] == "\\" and end + 1 < length:
+                    body.append(source[end:end + 2])
+                    end += 2
+                else:
+                    if source[end] == "\n":
+                        raise LexError("newline in string literal", line)
+                    body.append(source[end])
+                    end += 1
+            if end >= length:
+                raise LexError("unterminated string literal", line)
+            text = "".join(body).encode().decode("unicode_escape")
+            tokens.append(Token(TokenKind.STRING, text, line))
+            pos = end + 1
+            continue
+        for punct in _PUNCTS:
+            if source.startswith(punct, pos):
+                tokens.append(Token(TokenKind.PUNCT, punct, line))
+                pos += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token(TokenKind.EOF, "", line))
+    return tokens

@@ -1,0 +1,433 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF-ish)::
+
+    program    := (func | global | const | extern)*
+    extern     := "extern" "func" IDENT ";"
+    const      := "const" IDENT "=" NUMBER ";"
+    global     := "var" IDENT ("[" NUMBER "]")? ("=" (NUMBER|STRING))? ";"
+    func       := "func" IDENT "(" params? ")" block
+    block      := "{" stmt* "}"
+    stmt       := vardecl | assign | exprstmt | if | while | switch
+                | break | continue | return | asm | block
+    vardecl    := "var" IDENT ("[" NUMBER "]")? ("=" expr)? ";"
+    assign     := IDENT "=" expr ";"  |  IDENT "[" expr "]" "=" expr ";"
+    if         := "if" "(" expr ")" block ("else" (if | block))?
+    while      := "while" "(" expr ")" block
+    switch     := "switch" "(" expr ")" "{" case* default? "}"
+    case       := "case" NUMBER ":" stmt*
+    asm        := "asm" "(" STRING ")" ";"
+    expr       := logical-or with usual C precedence, plus
+                  IDENT "(" args ")" calls and IDENT "[" expr "]" byte loads
+
+Notes:
+
+* ``a[i]`` reads/writes a single **byte** (the common case for buffer
+  code); 64-bit access uses the ``load64``/``store64`` builtins;
+* switch cases accept integer literals, character literals and
+  ``const`` names, and do not fall through.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AsmStmt,
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    ConstDecl,
+    ContinueStmt,
+    ExprStmt,
+    FuncDecl,
+    GlobalVar,
+    IfStmt,
+    IndexAssignStmt,
+    IndexExpr,
+    NameExpr,
+    NumberExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StringExpr,
+    SwitchCase,
+    SwitchStmt,
+    UnaryExpr,
+    VarDeclStmt,
+    WhileStmt,
+    Expr,
+)
+from .lexer import Token, TokenKind, tokenize
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.program = Program()
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, value: str | None = None) -> bool:
+        token = self._peek()
+        return token.kind is kind and (value is None or token.value == value)
+
+    def _accept(self, kind: TokenKind, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, value):
+            wanted = value if value is not None else kind.value
+            raise ParseError(f"expected {wanted!r}, got {token.value!r}", token.line)
+        return self._next()
+
+    def _expect_punct(self, value: str) -> Token:
+        return self._expect(TokenKind.PUNCT, value)
+
+    def _expect_keyword(self, value: str) -> Token:
+        return self._expect(TokenKind.KEYWORD, value)
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def parse(self) -> Program:
+        while not self._check(TokenKind.EOF):
+            token = self._peek()
+            if self._check(TokenKind.KEYWORD, "func"):
+                self.program.functions.append(self._function())
+            elif self._check(TokenKind.KEYWORD, "var"):
+                self.program.globals.append(self._global_var())
+            elif self._check(TokenKind.KEYWORD, "const"):
+                decl = self._const()
+                self.program.constants[decl.name] = decl.value
+            elif self._check(TokenKind.KEYWORD, "extern"):
+                self.program.externs.append(self._extern())
+            else:
+                raise ParseError(
+                    f"expected top-level declaration, got {token.value!r}",
+                    token.line,
+                )
+        return self.program
+
+    def _extern(self) -> str:
+        self._expect_keyword("extern")
+        self._expect_keyword("func")
+        name = self._expect(TokenKind.IDENT)
+        self._expect_punct(";")
+        return str(name.value)
+
+    def _const(self) -> ConstDecl:
+        line = self._expect_keyword("const").line
+        name = str(self._expect(TokenKind.IDENT).value)
+        self._expect_punct("=")
+        negative = self._accept(TokenKind.PUNCT, "-") is not None
+        number = self._expect(TokenKind.NUMBER)
+        self._expect_punct(";")
+        value = -int(number.value) if negative else int(number.value)
+        return ConstDecl(name, value, line)
+
+    def _global_var(self) -> GlobalVar:
+        line = self._expect_keyword("var").line
+        name = str(self._expect(TokenKind.IDENT).value)
+        size: int | None = None
+        init: Expr | None = None
+        if self._accept(TokenKind.PUNCT, "["):
+            size_tok = self._expect(TokenKind.NUMBER)
+            size = int(size_tok.value)
+            self._expect_punct("]")
+        if self._accept(TokenKind.PUNCT, "="):
+            token = self._peek()
+            if token.kind is TokenKind.NUMBER:
+                self._next()
+                init = NumberExpr(token.line, int(token.value))
+            elif token.kind is TokenKind.STRING:
+                self._next()
+                init = StringExpr(token.line, str(token.value))
+            elif token.kind is TokenKind.PUNCT and token.value == "-":
+                self._next()
+                number = self._expect(TokenKind.NUMBER)
+                init = NumberExpr(number.line, -int(number.value))
+            else:
+                raise ParseError(
+                    "global initializer must be a number or string literal",
+                    token.line,
+                )
+        self._expect_punct(";")
+        if size is not None and init is not None:
+            raise ParseError("array globals cannot have initializers", line)
+        return GlobalVar(name, size, init, line)
+
+    def _function(self) -> FuncDecl:
+        line = self._expect_keyword("func").line
+        name = str(self._expect(TokenKind.IDENT).value)
+        self._expect_punct("(")
+        params: list[str] = []
+        if not self._check(TokenKind.PUNCT, ")"):
+            while True:
+                params.append(str(self._expect(TokenKind.IDENT).value))
+                if not self._accept(TokenKind.PUNCT, ","):
+                    break
+        self._expect_punct(")")
+        if len(params) > 6:
+            raise ParseError("at most 6 parameters are supported", line)
+        body = self._block()
+        return FuncDecl(name, tuple(params), body, line)
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _block(self) -> tuple[Stmt, ...]:
+        self._expect_punct("{")
+        body: list[Stmt] = []
+        while not self._check(TokenKind.PUNCT, "}"):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unexpected end of file in block", self._peek().line)
+            body.append(self._statement())
+        self._expect_punct("}")
+        return tuple(body)
+
+    def _statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD:
+            keyword = str(token.value)
+            if keyword == "var":
+                return self._var_decl()
+            if keyword == "if":
+                return self._if()
+            if keyword == "while":
+                return self._while()
+            if keyword == "switch":
+                return self._switch()
+            if keyword == "break":
+                self._next()
+                self._expect_punct(";")
+                return BreakStmt(token.line)
+            if keyword == "continue":
+                self._next()
+                self._expect_punct(";")
+                return ContinueStmt(token.line)
+            if keyword == "return":
+                self._next()
+                value = None
+                if not self._check(TokenKind.PUNCT, ";"):
+                    value = self._expression()
+                self._expect_punct(";")
+                return ReturnStmt(token.line, value)
+            if keyword == "asm":
+                self._next()
+                self._expect_punct("(")
+                text = self._expect(TokenKind.STRING)
+                self._expect_punct(")")
+                self._expect_punct(";")
+                return AsmStmt(token.line, str(text.value))
+            raise ParseError(f"unexpected keyword {keyword!r}", token.line)
+        if token.kind is TokenKind.IDENT:
+            # assignment, indexed assignment, or expression statement
+            if self._peek(1).kind is TokenKind.PUNCT and self._peek(1).value == "=":
+                name = str(self._next().value)
+                self._next()  # "="
+                value = self._expression()
+                self._expect_punct(";")
+                return AssignStmt(token.line, name, value)
+            if self._peek(1).kind is TokenKind.PUNCT and self._peek(1).value == "[":
+                saved = self.pos
+                name = str(self._next().value)
+                self._next()  # "["
+                index = self._expression()
+                self._expect_punct("]")
+                if self._accept(TokenKind.PUNCT, "="):
+                    value = self._expression()
+                    self._expect_punct(";")
+                    return IndexAssignStmt(token.line, name, index, value)
+                self.pos = saved  # it was an expression like f(a[i]);... re-parse
+        expr = self._expression()
+        self._expect_punct(";")
+        return ExprStmt(expr.line, expr)
+
+    def _var_decl(self) -> VarDeclStmt:
+        line = self._expect_keyword("var").line
+        name = str(self._expect(TokenKind.IDENT).value)
+        size: int | None = None
+        init: Expr | None = None
+        if self._accept(TokenKind.PUNCT, "["):
+            size_tok = self._expect(TokenKind.NUMBER)
+            size = int(size_tok.value)
+            self._expect_punct("]")
+        if self._accept(TokenKind.PUNCT, "="):
+            init = self._expression()
+        self._expect_punct(";")
+        if size is not None and init is not None:
+            raise ParseError("array locals cannot have initializers", line)
+        return VarDeclStmt(line, name, size, init)
+
+    def _if(self) -> IfStmt:
+        line = self._expect_keyword("if").line
+        self._expect_punct("(")
+        condition = self._expression()
+        self._expect_punct(")")
+        then_body = self._block()
+        else_body: tuple[Stmt, ...] = ()
+        if self._accept(TokenKind.KEYWORD, "else"):
+            if self._check(TokenKind.KEYWORD, "if"):
+                else_body = (self._if(),)
+            else:
+                else_body = self._block()
+        return IfStmt(line, condition, then_body, else_body)
+
+    def _while(self) -> WhileStmt:
+        line = self._expect_keyword("while").line
+        self._expect_punct("(")
+        condition = self._expression()
+        self._expect_punct(")")
+        body = self._block()
+        return WhileStmt(line, condition, body)
+
+    def _switch(self) -> SwitchStmt:
+        line = self._expect_keyword("switch").line
+        self._expect_punct("(")
+        selector = self._expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: list[SwitchCase] = []
+        default: tuple[Stmt, ...] | None = None
+        while not self._check(TokenKind.PUNCT, "}"):
+            if self._accept(TokenKind.KEYWORD, "case"):
+                value_line = self._peek().line
+                value = self._case_value()
+                self._expect_punct(":")
+                body = self._case_body()
+                cases.append(SwitchCase(value, body, value_line))
+            elif self._accept(TokenKind.KEYWORD, "default"):
+                self._expect_punct(":")
+                if default is not None:
+                    raise ParseError("duplicate default case", line)
+                default = self._case_body()
+            else:
+                raise ParseError(
+                    f"expected 'case' or 'default', got {self._peek().value!r}",
+                    self._peek().line,
+                )
+        self._expect_punct("}")
+        return SwitchStmt(line, selector, tuple(cases), default)
+
+    def _case_value(self) -> int:
+        negative = self._accept(TokenKind.PUNCT, "-") is not None
+        token = self._next()
+        if token.kind is TokenKind.NUMBER:
+            value = int(token.value)
+        elif token.kind is TokenKind.IDENT and token.value in self.program.constants:
+            value = self.program.constants[str(token.value)]
+        else:
+            raise ParseError(
+                f"case value must be a constant, got {token.value!r}", token.line
+            )
+        return -value if negative else value
+
+    def _case_body(self) -> tuple[Stmt, ...]:
+        body: list[Stmt] = []
+        while not (
+            self._check(TokenKind.KEYWORD, "case")
+            or self._check(TokenKind.KEYWORD, "default")
+            or self._check(TokenKind.PUNCT, "}")
+        ):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unexpected end of file in switch", self._peek().line)
+            body.append(self._statement())
+        return tuple(body)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _expression(self) -> Expr:
+        return self._binary(0)
+
+    def _binary(self, min_precedence: int) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.PUNCT:
+                break
+            op = str(token.value)
+            precedence = _PRECEDENCE.get(op)
+            if precedence is None or precedence < min_precedence:
+                break
+            self._next()
+            right = self._binary(precedence + 1)
+            left = BinaryExpr(token.line, op, left, right)
+        return left
+
+    def _unary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.value in ("-", "!", "~"):
+            self._next()
+            operand = self._unary()
+            return UnaryExpr(token.line, str(token.value), operand)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._next()
+        if token.kind is TokenKind.NUMBER:
+            return NumberExpr(token.line, int(token.value))
+        if token.kind is TokenKind.STRING:
+            return StringExpr(token.line, str(token.value))
+        if token.kind is TokenKind.PUNCT and token.value == "(":
+            expr = self._expression()
+            self._expect_punct(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            name = str(token.value)
+            if self._accept(TokenKind.PUNCT, "("):
+                args: list[Expr] = []
+                if not self._check(TokenKind.PUNCT, ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept(TokenKind.PUNCT, ","):
+                            break
+                self._expect_punct(")")
+                return CallExpr(token.line, name, tuple(args))
+            if self._accept(TokenKind.PUNCT, "["):
+                index = self._expression()
+                self._expect_punct("]")
+                return IndexExpr(token.line, name, index)
+            return NameExpr(token.line, name)
+        raise ParseError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source: str) -> Program:
+    """Parse MiniC source into a :class:`Program`."""
+    return Parser(source).parse()

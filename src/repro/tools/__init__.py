@@ -1,0 +1,5 @@
+"""Command-line tools: tracediff and CRIT, as shipped with the paper."""
+
+from . import crit_cli, report, svgplot, tracediff_cli
+
+__all__ = ["crit_cli", "report", "svgplot", "tracediff_cli"]

@@ -1,0 +1,77 @@
+"""``crit`` CLI — decode/encode/inspect CRIU-style image files on disk.
+
+Mirrors the CRIT workflows the paper extends::
+
+    python -m repro.tools.crit_cli decode core-100.img        # -> JSON
+    python -m repro.tools.crit_cli encode core-100.json       # -> .img
+    python -m repro.tools.crit_cli show core-100.img          # summary
+
+``decode``/``encode`` operate on host filesystem paths (image files
+exported from a kernel fs with ``InMemoryFS.read_file``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from ..criu import crit
+from ..criu.images import CoreImage, MmImage
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="crit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("decode", "encode", "show"):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("path", type=pathlib.Path)
+        cmd.add_argument("-o", "--output", type=pathlib.Path, default=None)
+    return parser
+
+
+def _summarize(data: bytes) -> str:
+    kind = crit.image_kind(data)
+    if kind == "core":
+        core = CoreImage.from_bytes(data)
+        lines = [f"core image: pid={core.pid} ppid={core.ppid} "
+                 f"binary={core.binary}",
+                 f"  rip={core.regs.rip:#x}"]
+        for action in core.sigactions:
+            lines.append(f"  sigaction {action.signal}: "
+                         f"handler={action.handler:#x}")
+        return "\n".join(lines)
+    if kind == "mm":
+        mm = MmImage.from_bytes(data)
+        lines = [f"mm image: {len(mm.vmas)} VMAs"]
+        for vma in mm.vmas:
+            backing = vma.file_path or "anon"
+            lines.append(
+                f"  {vma.start:#014x}-{vma.end:#014x} {vma.perms} {backing}"
+            )
+        return "\n".join(lines)
+    decoded = crit.decode(data)
+    return f"{kind} image: {len(json.dumps(decoded))} bytes decoded"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "decode":
+        decoded = crit.decode_to_json(args.path.read_bytes())
+        if args.output:
+            args.output.write_text(decoded)
+        else:
+            print(decoded)
+    elif args.command == "encode":
+        encoded = crit.encode_from_json(args.path.read_text())
+        output = args.output or args.path.with_suffix(".img")
+        output.write_bytes(encoded)
+        print(f"wrote {output} ({len(encoded)} bytes)")
+    else:  # show
+        print(_summarize(args.path.read_bytes()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Minimal dependency-free SVG line charts.
+
+Enough to regenerate the paper's line figures (throughput timeline,
+live-blocks-over-time) as actual image files in ``results/`` without
+pulling in matplotlib.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e")
+
+
+@dataclass
+class Series:
+    label: str
+    points: list[tuple[float, float]]
+    dashed: bool = False
+
+
+@dataclass
+class LineChart:
+    """A simple multi-series line chart with axes and a legend."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    width: int = 640
+    height: int = 400
+    margin: int = 56
+
+    def add_series(
+        self, label: str, points: list[tuple[float, float]],
+        dashed: bool = False,
+    ) -> None:
+        self.series.append(Series(label, list(points), dashed))
+
+    # ------------------------------------------------------------------
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [x for s in self.series for x, __ in s.points]
+        ys = [y for s in self.series for __, y in s.points]
+        if not xs:
+            return 0.0, 1.0, 0.0, 1.0
+        x_min, x_max = min(xs), max(xs)
+        y_min, y_max = min(0.0, min(ys)), max(ys)
+        if x_max == x_min:
+            x_max = x_min + 1
+        if y_max == y_min:
+            y_max = y_min + 1
+        return x_min, x_max, y_min, y_max * 1.08
+
+    def to_svg(self) -> str:
+        x_min, x_max, y_min, y_max = self._bounds()
+        m = self.margin
+        plot_w = self.width - 2 * m
+        plot_h = self.height - 2 * m
+
+        def sx(x: float) -> float:
+            return m + (x - x_min) / (x_max - x_min) * plot_w
+
+        def sy(y: float) -> float:
+            return self.height - m - (y - y_min) / (y_max - y_min) * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{self.title}</text>',
+            # axes
+            f'<line x1="{m}" y1="{self.height - m}" x2="{self.width - m}" '
+            f'y2="{self.height - m}" stroke="black"/>',
+            f'<line x1="{m}" y1="{m}" x2="{m}" y2="{self.height - m}" '
+            'stroke="black"/>',
+            f'<text x="{self.width / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{self.x_label}</text>',
+            f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.height / 2})">{self.y_label}</text>',
+        ]
+        # ticks: 5 on each axis
+        for i in range(6):
+            x_val = x_min + (x_max - x_min) * i / 5
+            y_val = y_min + (y_max - y_min) * i / 5
+            x_pix, y_pix = sx(x_val), sy(y_val)
+            parts.append(
+                f'<line x1="{x_pix:.1f}" y1="{self.height - m}" '
+                f'x2="{x_pix:.1f}" y2="{self.height - m + 4}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{x_pix:.1f}" y="{self.height - m + 16}" '
+                f'text-anchor="middle">{x_val:g}</text>'
+            )
+            parts.append(
+                f'<line x1="{m - 4}" y1="{y_pix:.1f}" x2="{m}" '
+                f'y2="{y_pix:.1f}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{m - 8}" y="{y_pix + 4:.1f}" '
+                f'text-anchor="end">{y_val:g}</text>'
+            )
+        # series
+        for index, series in enumerate(self.series):
+            color = _COLORS[index % len(_COLORS)]
+            coords = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in series.points
+            )
+            dash = ' stroke-dasharray="6,4"' if series.dashed else ""
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                f'stroke-width="2"{dash}/>'
+            )
+            legend_y = self.margin + 8 + index * 18
+            parts.append(
+                f'<line x1="{self.width - m - 130}" y1="{legend_y}" '
+                f'x2="{self.width - m - 105}" y2="{legend_y}" '
+                f'stroke="{color}" stroke-width="2"{dash}/>'
+            )
+            parts.append(
+                f'<text x="{self.width - m - 100}" y="{legend_y + 4}">'
+                f'{series.label}</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())
+
+
+@dataclass
+class GridMap:
+    """A colored-cell grid (the Figure 2 memory-footprint style).
+
+    ``cells`` is a flat list of category keys; ``palette`` maps each
+    key to a fill color.  Cells wrap after ``columns`` entries, mapping
+    a linear address space onto a 2-D picture.
+    """
+
+    title: str
+    cells: list[str]
+    palette: dict[str, str]
+    legend: dict[str, str] = field(default_factory=dict)
+    columns: int = 64
+    cell_size: int = 8
+
+    def to_svg(self) -> str:
+        rows = -(-len(self.cells) // self.columns) if self.cells else 1
+        width = self.columns * self.cell_size + 16
+        height = rows * self.cell_size + 72
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" font-family="sans-serif" font-size="11">',
+            f'<rect width="{width}" height="{height}" fill="white"/>',
+            f'<text x="{width / 2}" y="16" text-anchor="middle" '
+            f'font-size="13" font-weight="bold">{self.title}</text>',
+        ]
+        for index, key in enumerate(self.cells):
+            row, col = divmod(index, self.columns)
+            x = 8 + col * self.cell_size
+            y = 28 + row * self.cell_size
+            color = self.palette.get(key, "#cccccc")
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{self.cell_size - 1}" '
+                f'height="{self.cell_size - 1}" fill="{color}"/>'
+            )
+        legend_y = 28 + rows * self.cell_size + 16
+        legend_x = 8
+        for key, color in self.palette.items():
+            label = self.legend.get(key, key)
+            parts.append(
+                f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" '
+                f'height="10" fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 14}" y="{legend_y}">{label}</text>'
+            )
+            legend_x += 14 + 8 * len(label) + 16
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())

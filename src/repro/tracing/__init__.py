@@ -1,0 +1,13 @@
+"""Basic-block coverage tracing (the DynamoRIO drcov + nudge analogue)."""
+
+from .drcov import BlockRecord, CoverageTrace, ModuleEntry, merge_traces
+from .tracer import BlockTracer, trace_run
+
+__all__ = [
+    "BlockRecord",
+    "BlockTracer",
+    "CoverageTrace",
+    "ModuleEntry",
+    "merge_traces",
+    "trace_run",
+]

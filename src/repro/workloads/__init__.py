@@ -1,0 +1,24 @@
+"""Host-side workload generators and clients."""
+
+from .http_client import HttpClient, HttpError, HttpResponse
+from .redis_client import RedisClient, RedisError
+from .driver import (
+    SECOND_NS,
+    TimelineEvent,
+    TimelinePoint,
+    TimelineResult,
+    run_request_timeline,
+)
+
+__all__ = [
+    "HttpClient",
+    "HttpError",
+    "HttpResponse",
+    "RedisClient",
+    "RedisError",
+    "SECOND_NS",
+    "TimelineEvent",
+    "TimelinePoint",
+    "TimelineResult",
+    "run_request_timeline",
+]

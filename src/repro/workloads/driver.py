@@ -1,0 +1,105 @@
+"""Throughput-timeline driver (the redis-benchmark of Figure 8).
+
+Sends a closed-loop stream of requests against a guest server and
+records completions per virtual-time bucket.  Scheduled events (e.g.
+"disable SET at t=20s, re-enable at t=48s") run between requests; a
+DynaCut rewrite advances the virtual clock by the full service
+interruption, which shows up as a dip in the affected bucket — exactly
+the shape of the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..kernel.kernel import Kernel
+
+SECOND_NS = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """An action to run once the virtual clock passes ``at_ns``."""
+
+    at_ns: int
+    label: str
+    action: Callable[[], None]
+
+
+@dataclass
+class TimelinePoint:
+    """One bucket of the measured timeline."""
+
+    start_ns: int
+    completed: int
+
+    @property
+    def start_s(self) -> float:
+        return self.start_ns / SECOND_NS
+
+
+@dataclass
+class TimelineResult:
+    points: list[TimelinePoint] = field(default_factory=list)
+    events_fired: list[tuple[int, str]] = field(default_factory=list)
+    total_requests: int = 0
+    failed_requests: int = 0
+
+    def throughput_series(self, bucket_ns: int) -> list[tuple[float, float]]:
+        """(bucket start seconds, requests/second) pairs."""
+        scale = SECOND_NS / bucket_ns
+        return [(p.start_s, p.completed * scale) for p in self.points]
+
+    def min_bucket(self) -> int:
+        return min((p.completed for p in self.points), default=0)
+
+    def max_bucket(self) -> int:
+        return max((p.completed for p in self.points), default=0)
+
+
+def run_request_timeline(
+    kernel: Kernel,
+    request_once: Callable[[], bool],
+    duration_ns: int,
+    bucket_ns: int = SECOND_NS,
+    events: list[TimelineEvent] | None = None,
+    max_requests: int = 1_000_000,
+) -> TimelineResult:
+    """Drive ``request_once`` in a closed loop for ``duration_ns``.
+
+    ``request_once`` issues one request and returns whether it
+    succeeded; it is responsible for running the kernel until its reply
+    arrives (both clients in this package do).
+    """
+    events = sorted(events or [], key=lambda e: e.at_ns)
+    pending = list(events)
+    start = kernel.clock_ns
+    end = start + duration_ns
+    result = TimelineResult()
+    buckets: dict[int, int] = {}
+
+    while kernel.clock_ns < end and result.total_requests < max_requests:
+        while pending and kernel.clock_ns - start >= pending[0].at_ns:
+            event = pending.pop(0)
+            event.action()
+            result.events_fired.append((kernel.clock_ns - start, event.label))
+        ok = request_once()
+        result.total_requests += 1
+        if ok:
+            # a request issued inside the window may complete just past
+            # its end; account it to the final bucket
+            bucket = min(
+                (kernel.clock_ns - start) // bucket_ns,
+                -(-duration_ns // bucket_ns) - 1,
+            )
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        else:
+            result.failed_requests += 1
+
+    n_buckets = max(1, -(-duration_ns // bucket_ns))
+    result.points = [
+        TimelinePoint(index * bucket_ns, buckets.get(index, 0))
+        for index in range(n_buckets)
+    ]
+    return result

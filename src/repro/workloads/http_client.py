@@ -1,0 +1,109 @@
+"""Host-side HTTP/1.0 client for the guest web servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kernel.kernel import Kernel
+
+
+@dataclass
+class HttpResponse:
+    """A parsed HTTP/1.0 response."""
+
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class HttpError(RuntimeError):
+    """Connection died or the response never arrived / did not parse."""
+
+
+class HttpClient:
+    """One-request-per-connection client (HTTP/1.0 semantics)."""
+
+    def __init__(self, kernel: Kernel, port: int, max_instructions: int = 3_000_000):
+        self.kernel = kernel
+        self.port = port
+        self.max_instructions = max_instructions
+
+    # ------------------------------------------------------------------
+
+    def raw_request(self, data: bytes | str) -> bytes:
+        """Send raw bytes; wait until the server closes; return the reply."""
+        sock = self.kernel.connect(self.port)
+        sock.send(data)
+        self.kernel.run_until(
+            lambda: sock.closed_by_peer, max_instructions=self.max_instructions
+        )
+        reply = sock.recv_available()
+        sock.close()
+        return reply
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | str | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> HttpResponse:
+        if isinstance(body, str):
+            body = body.encode("utf-8")
+        lines = [f"{method} {path} HTTP/1.0"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if body:
+            lines.append(f"Content-Length: {len(body)}")
+        raw = "\r\n".join(lines).encode("utf-8") + b"\r\n\r\n" + (body or b"")
+        return self._parse(self.raw_request(raw))
+
+    # convenience verbs ------------------------------------------------
+
+    def get(self, path: str) -> HttpResponse:
+        return self.request("GET", path)
+
+    def head(self, path: str) -> HttpResponse:
+        return self.request("HEAD", path)
+
+    def post(self, path: str, body: bytes | str) -> HttpResponse:
+        return self.request("POST", path, body)
+
+    def options(self, path: str = "/") -> HttpResponse:
+        return self.request("OPTIONS", path)
+
+    def put(self, path: str, body: bytes | str) -> HttpResponse:
+        return self.request("PUT", path, body)
+
+    def delete(self, path: str) -> HttpResponse:
+        return self.request("DELETE", path)
+
+    def propfind(self, path: str) -> HttpResponse:
+        return self.request("PROPFIND", path)
+
+    def mkcol(self, path: str) -> HttpResponse:
+        return self.request("MKCOL", path)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse(raw: bytes) -> HttpResponse:
+        if not raw:
+            raise HttpError("empty response (connection dropped?)")
+        head, sep, body = raw.partition(b"\r\n\r\n")
+        lines = head.split(b"\r\n")
+        parts = lines[0].decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise HttpError(f"bad status line {lines[0]!r}")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) > 2 else ""
+        headers = {}
+        for line in lines[1:]:
+            name, __, value = line.decode("latin-1").partition(":")
+            headers[name.strip()] = value.strip()
+        return HttpResponse(status, reason, headers, body)

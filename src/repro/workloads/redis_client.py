@@ -1,0 +1,80 @@
+"""Host-side client for miniredis (persistent connection, inline protocol)."""
+
+from __future__ import annotations
+
+from ..kernel.kernel import HostSocket, Kernel
+
+
+class RedisError(RuntimeError):
+    """Server returned -ERR, or the connection died."""
+
+
+class RedisClient:
+    """A persistent miniredis connection.
+
+    The connection deliberately survives DynaCut rewrite cycles (TCP
+    repair keeps it established), so the same client object can be used
+    before and after a customization — the Figure 8 workload.
+    """
+
+    def __init__(self, kernel: Kernel, port: int, max_instructions: int = 2_000_000):
+        self.kernel = kernel
+        self.port = port
+        self.max_instructions = max_instructions
+        self._sock: HostSocket | None = None
+
+    def _socket(self) -> HostSocket:
+        if self._sock is None or self._sock.closed_by_peer:
+            self._sock = self.kernel.connect(self.port)
+        return self._sock
+
+    # ------------------------------------------------------------------
+
+    def command_raw(self, line: str) -> bytes:
+        """Send one inline command; return the raw reply line."""
+        sock = self._socket()
+        sock.send(line.rstrip("\n") + "\n")
+        reply = sock.recv_until(b"\n", max_instructions=self.max_instructions)
+        if not reply:
+            raise RedisError(f"no reply to {line!r} (server dead?)")
+        return reply
+
+    def command(self, line: str) -> str:
+        """Send a command; return the decoded reply without the newline."""
+        return self.command_raw(line).decode("utf-8", "replace").rstrip("\n")
+
+    # typed helpers -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return self.command("PING") == "+PONG"
+
+    def set(self, key: str, value: str) -> bool:
+        return self.command(f"SET {key} {value}") == "+OK"
+
+    def get(self, key: str) -> str | None:
+        reply = self.command(f"GET {key}")
+        if reply == "$-1":
+            return None
+        if reply.startswith("$"):
+            return reply[1:]
+        raise RedisError(reply)
+
+    def delete(self, key: str) -> int:
+        return self._int(self.command(f"DEL {key}"))
+
+    def incr(self, key: str) -> int:
+        return self._int(self.command(f"INCR {key}"))
+
+    def dbsize(self) -> int:
+        return self._int(self.command("DBSIZE"))
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    @staticmethod
+    def _int(reply: str) -> int:
+        if not reply.startswith(":"):
+            raise RedisError(reply)
+        return int(reply[1:])

@@ -1,0 +1,73 @@
+"""Shared fixtures: built guest images and staged servers.
+
+Binary images are memoized process-wide by ``repro.apps.toolchain``, so
+the compile+link cost is paid once per pytest session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    LIGHTTPD_PORT,
+    NGINX_PORT,
+    REDIS_PORT,
+    libc_image,
+    lighttpd_image,
+    nginx_image,
+    redis_image,
+    stage_lighttpd,
+    stage_nginx,
+    stage_redis,
+)
+from repro.kernel import Kernel
+from repro.workloads import HttpClient, RedisClient
+
+
+@pytest.fixture(scope="session")
+def libc():
+    return libc_image()
+
+
+@pytest.fixture(scope="session")
+def redis_binary():
+    return redis_image()
+
+
+@pytest.fixture(scope="session")
+def lighttpd_binary():
+    return lighttpd_image()
+
+
+@pytest.fixture(scope="session")
+def nginx_binary():
+    return nginx_image()
+
+
+@pytest.fixture()
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture()
+def redis_server():
+    """(kernel, process, client) with miniredis booted to ready."""
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    return kernel, proc, RedisClient(kernel, REDIS_PORT)
+
+
+@pytest.fixture()
+def lighttpd_server():
+    """(kernel, process, client) with minilight booted to ready."""
+    kernel = Kernel()
+    proc = stage_lighttpd(kernel)
+    return kernel, proc, HttpClient(kernel, LIGHTTPD_PORT)
+
+
+@pytest.fixture()
+def nginx_server():
+    """(kernel, master, client) with mininginx master+worker up."""
+    kernel = Kernel()
+    master = stage_nginx(kernel)
+    return kernel, master, HttpClient(kernel, NGINX_PORT)

@@ -1,0 +1,119 @@
+"""Tests for static CFG recovery and PLT analysis."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    build_cfg,
+    executed_plt_entries,
+    plt_entries_in_blocks,
+    plt_entry_at,
+    total_basic_blocks,
+)
+from repro.binfmt import PLT_STUB_SIZE
+from repro.kernel import Kernel
+from repro.tracing import BlockRecord, BlockTracer
+
+from .helpers import build_minic
+
+
+class TestCfg:
+    def test_straight_line_is_few_blocks(self):
+        image = build_minic(
+            "func main() { return 3; }", "straight", with_libc=False
+        )
+        cfg = build_cfg(image)
+        assert cfg.block_count >= 2  # _start shim + main
+
+    def test_branches_split_blocks(self):
+        flat = build_minic("func main() { return 1; }", "flat", with_libc=False)
+        branchy = build_minic(
+            "func main(argc, argv) { if (argc > 1) { return 1; } "
+            "if (argc > 2) { return 2; } return 3; }",
+            "branchy",
+            with_libc=False,
+        )
+        assert build_cfg(branchy).block_count > build_cfg(flat).block_count
+
+    def test_blocks_do_not_overlap(self):
+        image = build_minic(
+            "func f(x) { if (x) { return 1; } return 2; }\n"
+            "func main() { return f(0) + f(1); }",
+            "olap",
+            with_libc=False,
+        )
+        cfg = build_cfg(image)
+        blocks = sorted(cfg.blocks)
+        for a, b in zip(blocks, blocks[1:]):
+            assert a.end <= b.start
+
+    def test_every_executed_block_is_a_static_leader(self):
+        image = build_minic(
+            "func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n"
+            "func main() { return fact(6) % 251; }",
+            "factorial",
+            with_libc=False,
+        )
+        kernel = Kernel()
+        kernel.register_binary(image)
+        proc = kernel.spawn("factorial")
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run_until(lambda: not proc.alive)
+        trace = tracer.finish()
+        leaders = build_cfg(image).block_starts()
+        for block in trace.module_blocks("factorial"):
+            assert block.offset in leaders, hex(block.offset)
+
+    def test_unreached_functions_still_counted(self):
+        image = build_minic(
+            "func dead() { return 9; }\nfunc main() { return 1; }",
+            "withdead",
+            with_libc=False,
+        )
+        cfg = build_cfg(image)
+        dead_addr = image.symbol_address("dead")
+        assert cfg.block_at(dead_addr) is not None
+
+    def test_edges_present_for_conditionals(self):
+        image = build_minic(
+            "func main(argc, argv) { if (argc) { return 1; } return 0; }",
+            "edges",
+            with_libc=False,
+        )
+        cfg = build_cfg(image)
+        # at least one block has two successors (taken + fallthrough)
+        assert any(len(succ) == 2 for succ in cfg.edges.values())
+
+    def test_total_basic_blocks_helper(self):
+        image = build_minic("func main() { return 0; }", "tb", with_libc=False)
+        assert total_basic_blocks(image) == build_cfg(image).block_count
+
+    def test_plt_stubs_are_blocks(self, redis_binary):
+        cfg = build_cfg(redis_binary)
+        starts = cfg.block_starts()
+        for name, stub in redis_binary.plt_entries.items():
+            assert stub in starts, f"plt stub for {name} not a block"
+
+
+class TestPltAnalysis:
+    def test_plt_entry_at(self, redis_binary):
+        name, stub = next(iter(redis_binary.plt_entries.items()))
+        assert plt_entry_at(redis_binary, stub) == name
+        assert plt_entry_at(redis_binary, stub + PLT_STUB_SIZE - 1) == name
+
+    def test_plt_entry_at_miss(self, redis_binary):
+        assert plt_entry_at(redis_binary, 0x1) is None
+
+    def test_blocks_map_to_entries(self, redis_binary):
+        name, stub = next(iter(redis_binary.plt_entries.items()))
+        blocks = [BlockRecord(redis_binary.name, stub, PLT_STUB_SIZE)]
+        assert name in plt_entries_in_blocks(redis_binary, blocks)
+
+    def test_executed_plt_entries_from_trace(self, redis_server, redis_binary):
+        kernel, proc, client = redis_server
+        tracer = BlockTracer(kernel, proc).attach()
+        client.ping()
+        trace = tracer.finish()
+        executed = executed_plt_entries(redis_binary, trace)
+        # PING replies through send -> the send PLT entry must be hot
+        assert "send" in executed
+        assert "recv" in executed

@@ -1,0 +1,187 @@
+"""Behavioural tests for the three guest servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import REDIS_PORT, nginx_worker
+from repro.kernel import Signal
+from repro.workloads import RedisClient
+
+
+class TestMiniredis:
+    def test_banner_and_ready_line(self, redis_server):
+        __, proc, __ = redis_server
+        out = proc.stdout_text()
+        assert "miniredis pid=" in out
+        assert "Ready to accept connections" in out
+
+    def test_config_respected(self, redis_server):
+        kernel, proc, client = redis_server
+        assert client.command("CONFIG GET maxmemory") == ":1048576"
+        assert client.command("CONFIG GET port") == ":6379"
+        assert client.command("CONFIG GET loglevel") == "$notice"
+
+    def test_string_commands(self, redis_server):
+        __, __, client = redis_server
+        assert client.set("s", "abc")
+        assert client.command("APPEND s def") == ":6"
+        assert client.command("STRLEN s") == ":6"
+        assert client.command("GETRANGE s 1 3") == "$bcd"
+        assert client.command("SETRANGE s 0 X") == ":1"
+        assert client.get("s") == "Xbcdef"
+
+    def test_counters(self, redis_server):
+        __, __, client = redis_server
+        assert client.incr("n") == 1
+        assert client.incr("n") == 2
+        assert client.command("DECR n") == ":1"
+
+    def test_key_management(self, redis_server):
+        __, __, client = redis_server
+        client.set("a", "1")
+        client.set("b", "2")
+        assert client.dbsize() == 2
+        assert client.command("EXISTS a") == ":1"
+        assert client.delete("a") == 1
+        assert client.command("EXISTS a") == ":0"
+        assert client.command("FLUSHALL") == "+OK"
+        assert client.dbsize() == 0
+
+    def test_echo_and_unknown(self, redis_server):
+        __, __, client = redis_server
+        assert client.command("ECHO hello") == "$hello"
+        assert client.command("BOGUS").startswith("-ERR unknown")
+
+    def test_get_missing_is_nil(self, redis_server):
+        __, __, client = redis_server
+        assert client.get("missing") is None
+
+    def test_multiple_clients(self, redis_server):
+        kernel, __, client = redis_server
+        other = RedisClient(kernel, REDIS_PORT)
+        client.set("shared", "1")
+        assert other.get("shared") == "1"
+        other.set("shared", "2")
+        assert client.get("shared") == "2"
+
+    def test_pipelined_commands_one_packet(self, redis_server):
+        kernel, __, __ = redis_server
+        sock = kernel.connect(REDIS_PORT)
+        sock.send("SET p 9\nGET p\nPING\n")
+        kernel.run_until(
+            lambda: sock.endpoint.recv_buffer.count(b"\n") >= 3,
+            max_instructions=3_000_000,
+        )
+        assert sock.recv_available() == b"+OK\n$9\n+PONG\n"
+
+    def test_wrong_arity_reports_error(self, redis_server):
+        __, __, client = redis_server
+        assert client.command("SET onlykey").startswith("-ERR")
+        assert client.command("GET").startswith("-ERR")
+
+    def test_value_too_large_rejected(self, redis_server):
+        __, __, client = redis_server
+        assert client.command("SET big " + "x" * 300).startswith("-ERR")
+
+    def test_shutdown_command(self, redis_server):
+        kernel, proc, client = redis_server
+        client.command("SHUTDOWN")
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 0
+
+
+class TestMinilight:
+    def test_static_get_and_head(self, lighttpd_server):
+        __, __, client = lighttpd_server
+        response = client.get("/")
+        assert response.status == 200
+        assert response.body == b"<h1>it works</h1>"
+        assert int(response.headers["Content-Length"]) == len(response.body)
+        assert client.head("/").body == b""
+
+    def test_404_for_missing(self, lighttpd_server):
+        __, __, client = lighttpd_server
+        assert client.get("/nope.html").status == 404
+
+    def test_webdav_put_get_delete_cycle(self, lighttpd_server):
+        kernel, __, client = lighttpd_server
+        assert client.put("/up.txt", "uploaded").status == 201
+        assert kernel.fs.read_file("/var/www/up.txt") == b"uploaded"
+        assert client.get("/up.txt").body == b"uploaded"
+        assert client.delete("/up.txt").status == 204
+        assert client.get("/up.txt").status == 404
+
+    def test_propfind_and_mkcol(self, lighttpd_server):
+        __, __, client = lighttpd_server
+        assert client.propfind("/").status == 207
+        assert client.mkcol("/dir").status == 201
+
+    def test_options_lists_methods(self, lighttpd_server):
+        __, __, client = lighttpd_server
+        response = client.options()
+        assert b"PUT" in response.body and b"DELETE" in response.body
+
+    def test_post_echoes_body(self, lighttpd_server):
+        __, __, client = lighttpd_server
+        assert client.post("/echo", "payload").body == b"payload"
+
+    def test_unknown_method_405(self, lighttpd_server):
+        __, __, client = lighttpd_server
+        assert client.request("FROB", "/").status == 405
+
+    def test_malformed_request_400(self, lighttpd_server):
+        kernel, __, client = lighttpd_server
+        reply = client.raw_request("GARBAGE\r\n\r\n")
+        assert b"400" in reply.split(b"\r\n")[0]
+
+    def test_single_process_many_connections(self, lighttpd_server):
+        kernel, proc, client = lighttpd_server
+        socks = [kernel.connect(8080) for __ in range(3)]
+        for index, sock in enumerate(socks):
+            sock.send(f"GET / HTTP/1.0\r\nX-N: {index}\r\n\r\n")
+        kernel.run_until(
+            lambda: all(s.closed_by_peer for s in socks),
+            max_instructions=6_000_000,
+        )
+        for sock in socks:
+            assert b"200 OK" in sock.recv_available()
+        assert proc.alive
+
+
+class TestMininginx:
+    def test_master_and_worker_processes(self, nginx_server):
+        kernel, master, __ = nginx_server
+        workers = [p for p in kernel.processes.values() if p.ppid == master.pid]
+        assert len(workers) == 1
+        assert workers[0].binary == master.binary
+
+    def test_serves_content(self, nginx_server):
+        __, __, client = nginx_server
+        response = client.get("/")
+        assert response.status == 200
+        assert response.headers.get("Server") == "mininginx"
+
+    def test_dav_methods_configured(self, nginx_server):
+        kernel, __, client = nginx_server
+        assert client.put("/f.txt", "x").status == 201
+        assert client.delete("/f.txt").status == 204
+
+    def test_worker_crash_respawned_by_master(self, nginx_server):
+        kernel, master, client = nginx_server
+        old_worker = nginx_worker(kernel, master)
+        client.raw_request("GET /" + "A" * 400 + " HTTP/1.0\r\n\r\n")
+        kernel.run_until(
+            lambda: "respawned" in master.stdout_text(),
+            max_instructions=5_000_000,
+        )
+        assert not old_worker.alive
+        assert old_worker.term_signal in (Signal.SIGSEGV, Signal.SIGILL)
+        new_worker = nginx_worker(kernel, master)
+        assert new_worker.pid != old_worker.pid
+        assert client.get("/").status == 200
+
+    def test_worker_serves_sequentially(self, nginx_server):
+        __, __, client = nginx_server
+        for __ in range(3):
+            assert client.get("/").status == 200

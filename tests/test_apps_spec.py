@@ -1,0 +1,138 @@
+"""Tests for the SPEC-like benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import benchmark_names, get_benchmark, stage_spec
+from repro.apps.spec import INIT_DONE_LINE, RESULT_PREFIX
+from repro.analysis import build_cfg
+from repro.core import DynaCut, init_only_blocks
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+
+ALL_NAMES = benchmark_names()
+
+
+def _result_of(proc) -> int:
+    for line in proc.stdout_text().splitlines():
+        if line.startswith(RESULT_PREFIX):
+            return int(line[len(RESULT_PREFIX):])
+    raise AssertionError(f"no result line in {proc.stdout_text()!r}")
+
+
+class TestSuiteBasics:
+    def test_seven_benchmarks_registered(self):
+        assert len(ALL_NAMES) == 7
+        assert "600.perlbench_s" in ALL_NAMES
+        assert "605.mcf_s" in ALL_NAMES
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("999.nothing")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_runs_to_completion_with_result(self, name):
+        kernel = Kernel()
+        proc = stage_spec(kernel, name, iterations=1)
+        assert INIT_DONE_LINE in proc.stdout_text()
+        kernel.run_until(lambda: not proc.alive, max_instructions=30_000_000)
+        assert proc.exit_code == 0
+        _result_of(proc)  # raises if absent
+
+    @pytest.mark.parametrize("name", ["605.mcf_s", "641.leela_s"])
+    def test_deterministic_results(self, name):
+        results = []
+        for __ in range(2):
+            kernel = Kernel()
+            proc = stage_spec(kernel, name, iterations=2)
+            kernel.run_until(lambda: not proc.alive, max_instructions=30_000_000)
+            results.append(_result_of(proc))
+        assert results[0] == results[1]
+
+    def test_iterations_scale_work(self):
+        counts = []
+        for iterations in (1, 3):
+            kernel = Kernel()
+            proc = stage_spec(kernel, "605.mcf_s", iterations=iterations)
+            kernel.run_until(lambda: not proc.alive, max_instructions=30_000_000)
+            counts.append(proc.instructions_retired)
+        assert counts[1] > counts[0] * 1.5
+
+    def test_perlbench_has_biggest_init_phase(self):
+        """The suite preserves the paper's shape: perlbench is the most
+        init-heavy benchmark, mcf the smallest binary."""
+        init_counts = {}
+        sizes = {}
+        for name in ("600.perlbench_s", "605.mcf_s", "625.x264_s"):
+            kernel = Kernel()
+            proc = stage_spec(kernel, name, iterations=1, run_to_init=False)
+            tracer = BlockTracer(kernel, proc).attach()
+            kernel.run_until(
+                lambda: INIT_DONE_LINE in proc.stdout_text(),
+                max_instructions=10_000_000,
+            )
+            init_trace = tracer.nudge_dump(quiesce=False)
+            kernel.run_until(lambda: not proc.alive, max_instructions=30_000_000)
+            rest = tracer.finish(quiesce=False)
+            bench = get_benchmark(name)
+            report = init_only_blocks(init_trace, rest, bench.binary)
+            init_counts[name] = report.removable_count
+            sizes[name] = kernel.binaries[bench.binary].code_size()
+        assert init_counts["600.perlbench_s"] == max(init_counts.values())
+        assert sizes["605.mcf_s"] == min(sizes.values())
+
+
+class TestSpecWithDynaCut:
+    def test_init_removal_preserves_result(self):
+        """The headline correctness property: removing init-only code
+        mid-run must not change the computation's output.
+
+        Profiling follows the paper's offline workflow: a *complete*
+        profiling run produces the init/serving split (a partial
+        serving sample would misclassify exit-phase code such as the
+        output PLT entries — the §3.2.3 over-removal hazard), and the
+        removal is applied to a separate live instance.
+        """
+        name = "623.xalancbmk_s"
+        bench = get_benchmark(name)
+        iterations = 12
+
+        # profiling run (to completion) + reference result
+        kernel = Kernel()
+        proc = stage_spec(kernel, name, iterations=iterations, run_to_init=False)
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run_until(
+            lambda: INIT_DONE_LINE in proc.stdout_text(),
+            max_instructions=10_000_000,
+        )
+        init_trace = tracer.nudge_dump(quiesce=False)
+        kernel.run_until(lambda: not proc.alive, max_instructions=60_000_000)
+        serving = tracer.finish(quiesce=False)
+        expected = _result_of(proc)
+        report = init_only_blocks(init_trace, serving, bench.binary)
+        assert report.removable_count > 0
+
+        # production run: rewrite mid-execution using the offline profile
+        kernel = Kernel()
+        proc = stage_spec(kernel, name, iterations=iterations)  # at init-done
+        dynacut = DynaCut(kernel)
+        dynacut.remove_init_code(
+            proc.pid, bench.binary, list(report.init_only), wipe=True
+        )
+        proc = dynacut.restored_process(proc.pid)
+        kernel.run_until(lambda: not proc.alive, max_instructions=60_000_000)
+        assert proc.term_signal is None
+        assert _result_of(proc) == expected
+
+    def test_static_blocks_exceed_executed(self):
+        name = "631.deepsjeng_s"
+        bench = get_benchmark(name)
+        kernel = Kernel()
+        proc = stage_spec(kernel, name, iterations=1, run_to_init=False)
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run_until(lambda: not proc.alive, max_instructions=30_000_000)
+        trace = tracer.finish(quiesce=False)
+        executed = len(trace.module_blocks(bench.binary))
+        total = build_cfg(kernel.binaries[bench.binary]).block_count
+        assert total > executed  # unused (gray) blocks exist

@@ -1,0 +1,157 @@
+"""Security-evaluation tests: CVEs, BROP, ret2plt (§4.2 behaviours)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    NGINX_PORT,
+    REDIS_PORT,
+    nginx_worker,
+    stage_nginx,
+    stage_redis,
+)
+from repro.apps.httpd_nginx import NGINX_BINARY, READY_LINE, WORKER_LINE
+from repro.apps.kvstore import REDIS_BINARY
+from repro.attacks import (
+    PROBES_REQUIRED,
+    REDIS_CVES,
+    attempt_cve,
+    attempt_ret2plt,
+    cve_by_id,
+    run_brop,
+)
+from repro.core import DynaCut, TraceDiff, TrapPolicy, init_only_blocks
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer, merge_traces
+from repro.workloads import HttpClient, RedisClient
+
+
+def _block_command(kernel, proc, command: str, benign_line: str):
+    """Profile and disable one miniredis command feature."""
+    tracer = BlockTracer(kernel, proc).attach()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "SET a 1", "GET a", "DEL a", "EXISTS a"):
+        client.command(cmd)
+    wanted = tracer.nudge_dump()
+    client.command(benign_line)
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        command, [wanted], [undesired]
+    )
+    dynacut = DynaCut(kernel)
+    dynacut.disable_feature(
+        proc.pid, feature, policy=TrapPolicy.REDIRECT,
+        redirect_symbol="redis_unknown_cmd",
+    )
+    return dynacut.restored_process(proc.pid)
+
+
+class TestCveSpecs:
+    def test_five_cves_defined(self):
+        assert len(REDIS_CVES) == 5
+        assert cve_by_id("CVE-2021-32625").command == "STRALGO"
+
+    def test_unknown_cve_rejected(self):
+        with pytest.raises(KeyError):
+            cve_by_id("CVE-0000-0000")
+
+    @pytest.mark.parametrize("spec", REDIS_CVES, ids=lambda s: s.cve)
+    def test_benign_line_is_harmless(self, spec):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        reply = client.command(spec.benign_line)
+        assert proc.alive
+        assert not reply.startswith("-ERR unknown")
+
+    @pytest.mark.parametrize("spec", REDIS_CVES, ids=lambda s: s.cve)
+    def test_exploit_succeeds_on_vanilla(self, spec):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        outcome = attempt_cve(kernel, proc, REDIS_PORT, spec)
+        assert outcome.exploited
+        assert not outcome.mitigated
+
+    @pytest.mark.parametrize("spec", REDIS_CVES[:3], ids=lambda s: s.cve)
+    def test_dynacut_mitigates(self, spec):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        proc = _block_command(kernel, proc, spec.command, spec.benign_line)
+        outcome = attempt_cve(kernel, proc, REDIS_PORT, spec)
+        assert outcome.mitigated
+        assert outcome.server_alive
+        # unrelated service is unaffected
+        assert RedisClient(kernel, REDIS_PORT).ping()
+
+
+def _profiled_nginx():
+    kernel = Kernel()
+    master = stage_nginx(kernel, run_to_ready=False)
+    tracer_master = BlockTracer(kernel, master).attach()
+    kernel.run_until(
+        lambda: READY_LINE in master.stdout_text(), max_instructions=8_000_000
+    )
+    worker = nginx_worker(kernel, master)
+    tracer_worker = BlockTracer(kernel, worker).attach()
+    kernel.run_until(
+        lambda: WORKER_LINE in worker.stdout_text(), max_instructions=2_000_000
+    )
+    init = merge_traces([tracer_master.nudge_dump(), tracer_worker.nudge_dump()])
+    client = HttpClient(kernel, NGINX_PORT)
+    for __ in range(3):
+        client.get("/")
+    client.head("/")
+    serving = merge_traces([tracer_master.finish(), tracer_worker.finish()])
+    report = init_only_blocks(init, serving, NGINX_BINARY)
+    return kernel, master, report
+
+
+class TestBrop:
+    def test_feasible_on_vanilla(self):
+        kernel, master, __ = _profiled_nginx()
+        result = run_brop(kernel, master, NGINX_PORT, probes=PROBES_REQUIRED)
+        assert result.feasible
+        assert result.respawns_observed >= PROBES_REQUIRED - 1
+        # service survives the whole brute force (that is the problem)
+        assert HttpClient(kernel, NGINX_PORT).get("/").status == 200
+
+    def test_defeated_after_init_removal(self):
+        kernel, master, report = _profiled_nginx()
+        dynacut = DynaCut(kernel)
+        dynacut.remove_init_code(
+            master.pid, NGINX_BINARY, list(report.init_only), wipe=True
+        )
+        master = dynacut.restored_process(master.pid)
+        # service still works pre-attack
+        assert HttpClient(kernel, NGINX_PORT).get("/").status == 200
+        result = run_brop(kernel, master, NGINX_PORT, probes=PROBES_REQUIRED)
+        assert not result.feasible
+        assert result.respawns_observed == 0
+        assert result.probes_sent <= 1
+
+
+class TestRet2Plt:
+    def test_fork_pivot_succeeds_on_vanilla(self, nginx_binary):
+        kernel, master, __ = _profiled_nginx()
+        worker = nginx_worker(kernel, master)
+        result = attempt_ret2plt(kernel, worker, nginx_binary, "fork")
+        assert result.attack_succeeded
+
+    def test_fork_pivot_fails_after_init_removal(self, nginx_binary):
+        kernel, master, report = _profiled_nginx()
+        dynacut = DynaCut(kernel)
+        dynacut.remove_init_code(
+            master.pid, NGINX_BINARY, list(report.init_only), wipe=True
+        )
+        master = dynacut.restored_process(master.pid)
+        worker = nginx_worker(kernel, master)
+        result = attempt_ret2plt(kernel, worker, nginx_binary, "fork")
+        assert not result.attack_succeeded
+        assert not result.process_survived   # pivot landed on int3
+
+    def test_unknown_symbol_rejected(self, nginx_binary):
+        kernel, master, __ = _profiled_nginx()
+        worker = nginx_worker(kernel, master)
+        with pytest.raises(KeyError):
+            attempt_ret2plt(kernel, worker, nginx_binary, "no_such_import")

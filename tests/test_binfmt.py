@@ -1,0 +1,251 @@
+"""Tests for object modules, serde, the SELF format, and the linker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binfmt import (
+    DEFAULT_EXEC_BASE,
+    DynRelocType,
+    ImageKind,
+    LinkError,
+    ObjectModule,
+    PAGE_SIZE,
+    PLT_STUB_SIZE,
+    RelocType,
+    SelfImage,
+    link_executable,
+    link_shared,
+    load_self,
+    page_align,
+)
+from repro.binfmt.serde import ByteReader, ByteWriter
+from repro.isa import assemble
+
+
+# ----------------------------------------------------------------------
+# serde
+
+
+class TestSerde:
+    @given(
+        st.lists(
+            st.one_of(
+                st.integers(0, 255).map(lambda v: ("u8", v)),
+                st.integers(0, 2**32 - 1).map(lambda v: ("u32", v)),
+                st.integers(0, 2**64 - 1).map(lambda v: ("u64", v)),
+                st.integers(-(2**63), 2**63 - 1).map(lambda v: ("i64", v)),
+                st.text(max_size=40).map(lambda v: ("string", v)),
+                st.binary(max_size=64).map(lambda v: ("blob", v)),
+            ),
+            max_size=25,
+        )
+    )
+    def test_writer_reader_roundtrip(self, fields):
+        writer = ByteWriter()
+        for kind, value in fields:
+            getattr(writer, kind)(value)
+        reader = ByteReader(writer.getvalue())
+        for kind, value in fields:
+            assert getattr(reader, kind)() == value
+        assert reader.exhausted
+
+    def test_truncated_read_raises(self):
+        reader = ByteReader(b"\x01")
+        with pytest.raises(ValueError):
+            reader.u32()
+
+
+# ----------------------------------------------------------------------
+# object modules
+
+
+class TestObjectModule:
+    def test_append_returns_offset(self):
+        module = ObjectModule("m.o")
+        assert module.append("text", b"abc") == 0
+        assert module.append("text", b"de") == 3
+
+    def test_reserve_bss_alignment(self):
+        module = ObjectModule("m.o")
+        module.reserve_bss(3, align=1)
+        offset = module.reserve_bss(8, align=8)
+        assert offset == 8
+        assert module.bss_size == 16
+
+    def test_duplicate_symbol_rejected(self):
+        module = ObjectModule("m.o")
+        module.define("x", "text", 0)
+        with pytest.raises(ValueError):
+            module.define("x", "text", 4)
+
+    def test_undefined_symbols(self):
+        module = ObjectModule("m.o")
+        module.append("text", b"\x00" * 8)
+        module.define("local", "text", 0)
+        module.relocate("text", 0, RelocType.PCREL32, "local")
+        module.relocate("text", 4, RelocType.PCREL32, "external")
+        assert module.undefined_symbols() == {"external"}
+
+    def test_bss_has_no_bytes(self):
+        module = ObjectModule("m.o")
+        with pytest.raises(ValueError):
+            module.section("bss")
+
+
+# ----------------------------------------------------------------------
+# SELF serialization
+
+
+def _tiny_exec() -> SelfImage:
+    module = assemble(
+        ".global _start\n_start:\n  movi r0, 1\n  movi r1, 0\n  syscall\n", "t.o"
+    )
+    return link_executable([module], "tiny")
+
+
+class TestSelfFormat:
+    def test_serialize_roundtrip(self):
+        image = _tiny_exec()
+        restored = load_self(image.to_bytes())
+        assert restored.name == image.name
+        assert restored.kind == image.kind
+        assert restored.entry == image.entry
+        assert [s.name for s in restored.segments] == [
+            s.name for s in image.segments
+        ]
+        for a, b in zip(restored.segments, image.segments):
+            assert a.vaddr == b.vaddr and a.data == b.data and a.perms == b.perms
+        assert restored.symbols.keys() == image.symbols.keys()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            load_self(b"ELF!" + b"\x00" * 64)
+
+    def test_read_bytes_across_segment(self):
+        image = _tiny_exec()
+        start, __ = image.text_range()
+        raw = image.read_bytes(start, 10)
+        assert raw[0] == 0x01  # movi opcode
+
+    def test_page_align(self):
+        assert page_align(0) == 0
+        assert page_align(1) == PAGE_SIZE
+        assert page_align(PAGE_SIZE) == PAGE_SIZE
+        assert page_align(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    def test_code_size_counts_text_and_plt(self):
+        image = _tiny_exec()
+        assert image.code_size() == len(image.segment("text").data)
+
+
+# ----------------------------------------------------------------------
+# linker
+
+
+class TestLinker:
+    def test_exec_base_and_entry(self):
+        image = _tiny_exec()
+        assert image.base == DEFAULT_EXEC_BASE
+        assert image.entry == image.symbols["_start"].vaddr
+        assert image.segment("text").vaddr == DEFAULT_EXEC_BASE
+
+    def test_missing_start_rejected(self):
+        module = assemble("main:\n  ret\n", "t.o")
+        with pytest.raises(LinkError):
+            link_executable([module], "nostart")
+
+    def test_undefined_symbol_rejected(self):
+        module = assemble(".global _start\n_start:\n  call missing\n", "t.o")
+        with pytest.raises(LinkError):
+            link_executable([module], "bad")
+
+    def test_duplicate_globals_rejected(self):
+        a = assemble(".global f\nf:\n  ret\n", "a.o")
+        b = assemble(".global f\n.global _start\nf:\n_start:\n  ret\n", "b.o")
+        with pytest.raises(LinkError):
+            link_executable([a, b], "dup")
+
+    def test_cross_module_call_resolved(self):
+        a = assemble(".global _start\n_start:\n  call helper\n  movi r0, 1\n  syscall\n", "a.o")
+        b = assemble(".global helper\nhelper:\n  ret\n", "b.o")
+        image = link_executable([a, b], "two")
+        # the call's rel32 must land exactly on helper
+        text = image.segment("text").data
+        call_site = image.symbols["_start"].vaddr - image.segment("text").vaddr
+        rel = int.from_bytes(text[call_site + 1:call_site + 5], "little", signed=True)
+        target = image.symbols["_start"].vaddr + 5 + rel
+        assert target == image.symbols["helper"].vaddr
+
+    def test_local_symbols_do_not_collide(self):
+        a = assemble(".global fa\nfa:\n_Lx:\n  jmp _Lx\n", "a.o")
+        b = assemble(
+            ".global _start\n_start:\n_Lx:\n  jmp _Lx\n  call fa\n", "b.o"
+        )
+        image = link_executable([a, b], "locals")
+        assert "fa" in image.symbols
+
+    def test_plt_and_got_generated_for_imports(self, libc):
+        module = assemble(
+            ".global _start\n_start:\n  call strlen\n  movi r0, 1\n  syscall\n",
+            "t.o",
+        )
+        image = link_executable([module], "uses_libc", libraries=[libc])
+        assert "strlen" in image.plt_entries
+        assert "strlen" in image.got_entries
+        assert image.needed == ["libc.so"]
+        stub = image.plt_entries["strlen"]
+        plt_seg = image.segment("plt")
+        assert plt_seg.vaddr <= stub < plt_seg.vaddr + len(plt_seg.data)
+        # GOT slot has a GLOB_DAT dynamic reloc
+        got_slot = image.got_entries["strlen"]
+        assert any(
+            r.vaddr == got_slot and r.type is DynRelocType.GLOB_DAT
+            and r.symbol == "strlen"
+            for r in image.dynamic_relocs
+        )
+
+    def test_plt_stub_size_constant(self, libc):
+        module = assemble(
+            ".global _start\n_start:\n  call strlen\n  call strcmp\n"
+            "  movi r0, 1\n  syscall\n",
+            "t.o",
+        )
+        image = link_executable([module], "two_imports", libraries=[libc])
+        stubs = sorted(image.plt_entries.values())
+        assert stubs[1] - stubs[0] == PLT_STUB_SIZE
+
+    def test_shared_object_is_position_independent(self):
+        module = assemble(
+            ".global getval\ngetval:\n  movi r0, @value\n  ld64 r0, [r0]\n  ret\n"
+            ".section data\n.global value\nvalue: .quad 7\n",
+            "lib.o",
+        )
+        lib = link_shared([module], "libv.so")
+        assert lib.kind is ImageKind.DYN
+        assert lib.base == 0
+        # the movi @value needs a RELATIVE dynamic reloc
+        assert any(
+            r.type is DynRelocType.RELATIVE for r in lib.dynamic_relocs
+        )
+
+    def test_segment_permissions(self):
+        module = assemble(
+            ".global _start\n_start:\n  movi r1, @w\n  movi r0, 1\n  syscall\n"
+            '.section rodata\nmsg: .asciiz "x"\n'
+            ".section data\n.global w\nw: .quad 1\n"
+            ".section bss\nb: .space 64\n",
+            "t.o",
+        )
+        image = link_executable([module], "perm")
+        perms = {seg.name: seg.perms for seg in image.segments}
+        assert perms["text"] == "r-x"
+        assert perms["rodata"] == "r--"
+        assert perms["data"] == "rw-"
+        assert perms["bss"] == "rw-"
+
+    def test_sections_page_aligned(self):
+        image = _tiny_exec()
+        for seg in image.segments:
+            assert seg.vaddr % PAGE_SIZE == 0

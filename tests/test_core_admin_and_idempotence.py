@@ -1,0 +1,99 @@
+"""Administrative API and checkpoint idempotence properties."""
+
+from __future__ import annotations
+
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.core import DynaCut, TraceDiff, TrapPolicy
+from repro.criu import checkpoint_tree, restore_tree
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+
+def _with_feature():
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    tracer = BlockTracer(kernel, proc).attach()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "GET a", "DEL a"):
+        client.command(cmd)
+    wanted = tracer.nudge_dump()
+    client.command("SET a 1")
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks("SET", [wanted], [undesired])
+    return kernel, proc, client, feature
+
+
+class TestAdminApi:
+    def test_status_tracks_feature_lifecycle(self):
+        kernel, proc, client, feature = _with_feature()
+        dynacut = DynaCut(kernel)
+        assert dynacut.disabled_features(proc.pid) == []
+
+        dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.REDIRECT,
+            redirect_symbol="redis_unknown_cmd",
+        )
+        status = dynacut.status(proc.pid)
+        assert status["alive"]
+        assert status["disabled_features"] == ["SET"]
+        assert status["rewrites"] == 1
+        assert status["syscall_filter"] is None
+
+        dynacut.enable_feature(proc.pid, feature)
+        status = dynacut.status(proc.pid)
+        assert status["disabled_features"] == []
+        assert status["rewrites"] == 2
+
+    def test_status_reports_syscall_filter(self):
+        kernel, proc, client, __ = _with_feature()
+        dynacut = DynaCut(kernel)
+        dynacut.restrict_syscalls(proc.pid, {1, 2, 10, 11})
+        status = dynacut.status(proc.pid)
+        assert status["syscall_filter"] == [1, 2, 10, 11]
+
+    def test_status_of_dead_tree(self):
+        kernel, proc, client, __ = _with_feature()
+        client.command("SHUTDOWN")
+        kernel.run_until(lambda: not proc.alive)
+        status = DynaCut(kernel).status(proc.pid)
+        assert not status["alive"]
+        assert status["tree_pids"] == []
+
+
+class TestCheckpointIdempotence:
+    def test_dump_restore_dump_is_stable(self):
+        """checkpoint(restore(checkpoint(p))) reproduces the images.
+
+        The strongest identity property of the C/R layer: nothing is
+        lost or invented across a round trip.
+        """
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        client.set("stable", "yes")
+
+        first = checkpoint_tree(kernel, proc.pid, image_dir=None)
+        restore_tree(kernel, first)
+        second = checkpoint_tree(kernel, proc.pid, image_dir=None)
+
+        a, b = first.processes[0], second.processes[0]
+        assert a.core.regs == b.core.regs
+        assert a.core.sigactions == b.core.sigactions
+        assert a.core.next_fd == b.core.next_fd
+        assert a.mm.vmas == b.mm.vmas
+        assert a.pagemap.entries == b.pagemap.entries
+        assert a.pages.data == b.pages.data
+        assert [f.kind for f in a.files.fds] == [f.kind for f in b.files.fds]
+
+    def test_double_restore_cycle_preserves_service(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        client.set("n", "0")
+        for round_no in range(3):
+            checkpoint = checkpoint_tree(kernel, proc.pid, image_dir=None)
+            (proc,) = restore_tree(kernel, checkpoint)
+            assert client.incr("n") == round_no + 1
+        assert client.get("n") == "3"

@@ -1,0 +1,118 @@
+"""Tests for the RAZOR-like and CHISEL-like static-debloating baselines."""
+
+from __future__ import annotations
+
+from repro.analysis import build_cfg
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.core import apply_debloat, chisel_debloat, razor_debloat
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+
+def _profiled():
+    kernel = Kernel()
+    proc = stage_redis(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    from repro.apps.kvstore import READY_LINE
+
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text())
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "SET a 1", "GET a", "DBSIZE"):
+        client.command(cmd)
+    trace = tracer.finish()
+    return kernel, trace
+
+
+class TestBaselineInvariants:
+    def test_chisel_keeps_exactly_traced(self, redis_binary):
+        kernel, trace = _profiled()
+        result = chisel_debloat(redis_binary, [trace])
+        traced = {b.offset for b in trace.module_blocks(REDIS_BINARY)}
+        cfg_starts = build_cfg(redis_binary).block_starts()
+        assert result.kept_starts == traced & cfg_starts
+        assert result.kept_starts.isdisjoint(result.removed_starts)
+        assert (
+            len(result.kept_starts) + len(result.removed_starts)
+            == result.total_blocks
+        )
+
+    def test_razor_keeps_superset_of_chisel(self, redis_binary):
+        kernel, trace = _profiled()
+        chisel = chisel_debloat(redis_binary, [trace])
+        razor = razor_debloat(redis_binary, [trace], expansion=1)
+        assert chisel.kept_starts <= razor.kept_starts
+        assert razor.live_fraction >= chisel.live_fraction
+
+    def test_razor_expansion_monotone(self, redis_binary):
+        kernel, trace = _profiled()
+        one = razor_debloat(redis_binary, [trace], expansion=1)
+        three = razor_debloat(redis_binary, [trace], expansion=3)
+        assert one.kept_starts <= three.kept_starts
+
+    def test_live_fractions_sane(self, redis_binary):
+        kernel, trace = _profiled()
+        for result in (
+            chisel_debloat(redis_binary, [trace]),
+            razor_debloat(redis_binary, [trace]),
+        ):
+            assert 0.0 < result.live_fraction < 1.0
+            assert abs(result.live_fraction + result.removed_fraction - 1.0) < 1e-9
+
+
+class TestStaticRewrite:
+    def test_debloated_binary_still_serves_traced_features(self):
+        kernel, trace = _profiled()
+        binary = kernel.binaries[REDIS_BINARY]
+        result = razor_debloat(binary, [trace], expansion=2)
+        debloated = apply_debloat(binary, result)
+
+        fresh = Kernel()
+        fresh.register_binary(kernel.binaries["libc.so"])
+        fresh.register_binary(debloated)
+        from repro.apps.kvstore import READY_LINE, install_default_config
+
+        install_default_config(fresh.fs)
+        proc = fresh.spawn(REDIS_BINARY)
+        assert fresh.run_until(
+            lambda: READY_LINE in proc.stdout_text(), max_instructions=5_000_000
+        )
+        client = RedisClient(fresh, REDIS_PORT)
+        assert client.ping()
+        assert client.set("a", "2")
+        assert client.get("a") == "2"
+
+    def test_debloated_binary_kills_untraced_feature(self):
+        """Static debloating's usability problem: untraced features
+        terminate the program — there is no dynamic way back."""
+        kernel, trace = _profiled()
+        binary = kernel.binaries[REDIS_BINARY]
+        debloated = apply_debloat(binary, chisel_debloat(binary, [trace]))
+
+        fresh = Kernel()
+        fresh.register_binary(kernel.binaries["libc.so"])
+        fresh.register_binary(debloated)
+        from repro.apps.kvstore import READY_LINE, install_default_config
+
+        install_default_config(fresh.fs)
+        proc = fresh.spawn(REDIS_BINARY)
+        fresh.run_until(
+            lambda: READY_LINE in proc.stdout_text(), max_instructions=5_000_000
+        )
+        sock = fresh.connect(REDIS_PORT)
+        sock.send("STRALGO LCS ab ac\n")   # never traced
+        fresh.run_until(lambda: not proc.alive, max_instructions=3_000_000)
+        assert not proc.alive
+
+    def test_debloated_image_differs_only_in_code(self):
+        kernel, trace = _profiled()
+        binary = kernel.binaries[REDIS_BINARY]
+        debloated = apply_debloat(binary, chisel_debloat(binary, [trace]))
+        assert debloated.symbols == binary.symbols
+        assert debloated.plt_entries == binary.plt_entries
+        for a, b in zip(binary.segments, debloated.segments):
+            if a.name in ("text", "plt"):
+                assert len(a.data) == len(b.data)
+            else:
+                assert a.data == b.data

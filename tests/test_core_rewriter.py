@@ -1,0 +1,192 @@
+"""Tests for the image rewriter: patching, unmapping, library injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.core import build_handler_library
+from repro.core.rewriter import ImageRewriter, RewriteError
+from repro.core.sighandler import (
+    HANDLER_SYMBOL,
+    POLICY_TERMINATE,
+    RESTORER_SYMBOL,
+)
+from repro.criu import checkpoint_tree, restore_tree
+from repro.kernel import Kernel, Signal
+from repro.tracing import BlockRecord
+from repro.workloads import RedisClient
+
+
+@pytest.fixture()
+def staged():
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    checkpoint = checkpoint_tree(kernel, proc.pid)
+    rewriter = ImageRewriter(kernel, checkpoint)
+    return kernel, proc.pid, checkpoint, rewriter
+
+
+def _some_text_block(kernel) -> BlockRecord:
+    binary = kernel.binaries[REDIS_BINARY]
+    entry = binary.symbol_address("cmd_set")
+    return BlockRecord(REDIS_BINARY, entry, 24)
+
+
+class TestPatching:
+    def test_block_entry_int3(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        block = _some_text_block(kernel)
+        patched = rewriter.block_entry_int3(REDIS_BINARY, [block])
+        assert patched == 1
+        image = checkpoint.processes[0]
+        assert image.read_memory(block.offset, 1) == b"\xcc"
+        assert image.read_memory(block.offset + 1, 1) != b"\xcc"
+
+    def test_wipe_blocks(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        block = _some_text_block(kernel)
+        wiped = rewriter.wipe_blocks(REDIS_BINARY, [block])
+        assert wiped == block.size
+        image = checkpoint.processes[0]
+        assert image.read_memory(block.offset, block.size) == b"\xcc" * block.size
+
+    def test_restore_blocks_is_inverse(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        block = _some_text_block(kernel)
+        image = checkpoint.processes[0]
+        original = image.read_memory(block.offset, block.size)
+        rewriter.wipe_blocks(REDIS_BINARY, [block])
+        rewriter.restore_blocks(REDIS_BINARY, [block])
+        assert image.read_memory(block.offset, block.size) == original
+
+    def test_patch_unknown_module_rejected(self, staged):
+        __, __, __, rewriter = staged
+        with pytest.raises(RewriteError):
+            rewriter.block_entry_int3("ghost", [BlockRecord("ghost", 0, 4)])
+
+    def test_patch_without_exec_dump_rejected(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        checkpoint = checkpoint_tree(kernel, proc.pid, dump_exec_pages=False)
+        rewriter = ImageRewriter(kernel, checkpoint)
+        with pytest.raises(RewriteError) as excinfo:
+            rewriter.block_entry_int3(REDIS_BINARY, [_some_text_block(kernel)])
+        assert "dump_exec_pages" in str(excinfo.value)
+
+    def test_stats_and_clock_accounting(self, staged):
+        kernel, __, __, rewriter = staged
+        before = kernel.clock_ns
+        rewriter.block_entry_int3(REDIS_BINARY, [_some_text_block(kernel)])
+        assert rewriter.stats.blocks_patched == 1
+        assert rewriter.stats.patch_ns > 0
+        assert kernel.clock_ns == before + rewriter.stats.patch_ns
+
+
+class TestUnmap:
+    def test_unmap_drops_pages_and_vma(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        image = checkpoint.processes[0]
+        text_vma = next(v for v in image.mm.vmas if v.tag == "text")
+        start_offset = text_vma.start  # module base is 0 for executables
+        dropped = rewriter.unmap_module_range(REDIS_BINARY, start_offset, 4096)
+        assert dropped == 1
+        assert image.mm.vma_at(text_vma.start) is None
+        assert not image.has_dumped(text_vma.start)
+
+    def test_unmapped_code_faults_after_restore(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        binary = kernel.binaries[REDIS_BINARY]
+        text = binary.segment("text")
+        rewriter.unmap_module_range(REDIS_BINARY, text.vaddr, 4096)
+        (proc,) = restore_tree(kernel, checkpoint)
+        # ping drives execution back through the unmapped page eventually;
+        # at minimum the process must die with SIGSEGV when it gets there
+        client = RedisClient(kernel, REDIS_PORT)
+        try:
+            client.command("PING")
+        except Exception:
+            pass
+        kernel.run(max_instructions=200_000)
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGSEGV
+
+    def test_unaligned_unmap_rejected(self, staged):
+        __, __, __, rewriter = staged
+        with pytest.raises(RewriteError):
+            rewriter.unmap_module_range(REDIS_BINARY, 0x400001, 4096)
+
+
+class TestLibraryInjection:
+    def test_inject_adds_vmas_and_pages(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        library = build_handler_library(kernel.binaries["libc.so"])
+        image = checkpoint.processes[0]
+        vmas_before = len(image.mm.vmas)
+        base = rewriter.inject_library(image, library)
+        assert base % 4096 == 0
+        assert len(image.mm.vmas) > vmas_before
+        injected = [v for v in image.mm.vmas if v.tag.startswith("dynacut:")]
+        assert {v.tag.split(":")[1] for v in injected} >= {"text", "data"}
+        # code bytes of the handler are present in the image
+        handler = base + library.symbol_address(HANDLER_SYMBOL)
+        assert image.read_memory(handler, 1) != b"\x00"
+
+    def test_injection_base_avoids_existing_vmas(self, staged):
+        kernel, __, checkpoint, rewriter = staged
+        library = build_handler_library(kernel.binaries["libc.so"])
+        image = checkpoint.processes[0]
+        base = rewriter.inject_library(image, library)
+        spans = [(v.start, v.end) for v in image.mm.vmas]
+        for start, end in spans:
+            overlapping = [
+                (s, e) for s, e in spans if s < end and start < e and (s, e) != (start, end)
+            ]
+            assert not overlapping
+
+    def test_install_trap_handler_sets_sigaction(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        placements = rewriter.install_trap_handler(POLICY_TERMINATE)
+        (placement,) = placements
+        image = checkpoint.processes[0]
+        library = build_handler_library(kernel.binaries["libc.so"])
+        entry = next(
+            e for e in image.core.sigactions if e.signal == int(Signal.SIGTRAP)
+        )
+        assert entry.handler == placement.base + library.symbol_address(
+            HANDLER_SYMBOL
+        )
+        assert entry.restorer == placement.base + library.symbol_address(
+            RESTORER_SYMBOL
+        )
+
+    def test_reinstall_reuses_existing_library(self, staged):
+        kernel, pid, checkpoint, rewriter = staged
+        (first,) = rewriter.install_trap_handler(POLICY_TERMINATE)
+        vmas_after_first = len(checkpoint.processes[0].mm.vmas)
+        (second,) = rewriter.install_trap_handler(POLICY_TERMINATE)
+        assert second.base == first.base
+        assert len(checkpoint.processes[0].mm.vmas) == vmas_after_first
+
+    def test_redirect_capacity_enforced(self, staged):
+        __, __, __, rewriter = staged
+        too_many = [(i, i) for i in range(100)]
+        with pytest.raises(RewriteError):
+            rewriter.install_trap_handler(1, redirect_entries=too_many)
+
+    def test_injected_library_works_after_restore(self, staged):
+        """End to end: terminate-policy handler fires on an int3."""
+        kernel, pid, checkpoint, rewriter = staged
+        binary = kernel.binaries[REDIS_BINARY]
+        block = BlockRecord(REDIS_BINARY, binary.symbol_address("cmd_set"), 1)
+        rewriter.block_entry_int3(REDIS_BINARY, [block])
+        rewriter.install_trap_handler(POLICY_TERMINATE)
+        (proc,) = restore_tree(kernel, checkpoint)
+        sock = kernel.connect(REDIS_PORT)
+        sock.send("SET a 1\n")
+        kernel.run_until(lambda: not proc.alive, max_instructions=2_000_000)
+        assert not proc.alive
+        # the handler called exit(139): a clean exit, not a SIGTRAP kill
+        assert proc.term_signal is None
+        assert proc.exit_code == 139

@@ -1,0 +1,104 @@
+"""Fault injection: corrupted or incomplete checkpoint images.
+
+Restore must fail loudly (typed errors), never silently produce a
+half-restored process; and the checkpoint directory layout must detect
+tampering at the serialization layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.criu import (
+    CheckpointImage,
+    ImageError,
+    PagemapEntry,
+    RestoreError,
+    checkpoint_tree,
+    restore_tree,
+)
+from repro.apps import stage_redis
+from repro.kernel import Kernel
+
+
+@pytest.fixture()
+def checkpointed():
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    checkpoint = checkpoint_tree(kernel, proc.pid, image_dir="/tmp/criu/fi")
+    return kernel, proc, checkpoint
+
+
+class TestCorruptedImages:
+    def test_truncated_core_image_rejected(self, checkpointed):
+        kernel, proc, __ = checkpointed
+        path = f"/tmp/criu/fi/core-{proc.pid}.img"
+        data = kernel.fs.read_file(path)
+        kernel.fs.write_file(path, data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            CheckpointImage.load(kernel.fs, "/tmp/criu/fi")
+
+    def test_swapped_magic_rejected(self, checkpointed):
+        kernel, proc, __ = checkpointed
+        core = kernel.fs.read_file(f"/tmp/criu/fi/core-{proc.pid}.img")
+        kernel.fs.write_file(f"/tmp/criu/fi/mm-{proc.pid}.img", core)
+        with pytest.raises(ImageError):
+            CheckpointImage.load(kernel.fs, "/tmp/criu/fi")
+
+    def test_missing_image_file_rejected(self, checkpointed):
+        kernel, proc, __ = checkpointed
+        kernel.fs.unlink(f"/tmp/criu/fi/pages-{proc.pid}.img")
+        with pytest.raises(Exception):
+            CheckpointImage.load(kernel.fs, "/tmp/criu/fi")
+
+    def test_missing_backing_binary_rejected(self, checkpointed):
+        kernel, proc, checkpoint = checkpointed
+        del kernel.binaries["miniredis"]
+        with pytest.raises(RestoreError):
+            restore_tree(kernel, checkpoint)
+
+    def test_pagemap_pages_mismatch_detected(self, checkpointed):
+        kernel, proc, checkpoint = checkpointed
+        image = checkpoint.processes[0]
+        # claim one more page than the blob holds
+        entry = image.pagemap.entries[-1]
+        image.pagemap.entries[-1] = PagemapEntry(entry.vaddr, entry.nr_pages + 4)
+        with pytest.raises(Exception):
+            restore_tree(kernel, checkpoint)
+            # if restore tolerated it, reading the claimed range must fail
+            image.read_memory(entry.vaddr + entry.size, 1)
+
+    def test_overlapping_vmas_rejected_at_restore(self, checkpointed):
+        kernel, proc, checkpoint = checkpointed
+        image = checkpoint.processes[0]
+        first = image.mm.vmas[0]
+        from repro.criu import VmaEntry
+
+        image.mm.vmas.append(
+            VmaEntry(first.start, first.end, "rw-", "", 0, "evil-dup")
+        )
+        with pytest.raises(Exception):
+            restore_tree(kernel, checkpoint)
+
+
+class TestPartialFailureContainment:
+    def test_failed_restore_leaves_no_live_process(self, checkpointed):
+        kernel, proc, checkpoint = checkpointed
+        del kernel.binaries["miniredis"]
+        with pytest.raises(RestoreError):
+            restore_tree(kernel, checkpoint)
+        survivor = kernel.processes.get(proc.pid)
+        assert survivor is None or not survivor.alive
+
+    def test_rewriter_error_reported_with_context(self, checkpointed):
+        from repro.core.rewriter import ImageRewriter, RewriteError
+        from repro.tracing import BlockRecord
+
+        kernel, proc, checkpoint = checkpointed
+        rewriter = ImageRewriter(kernel, checkpoint)
+        with pytest.raises(RewriteError) as excinfo:
+            # address far outside any dumped region
+            rewriter.block_entry_int3(
+                "miniredis", [BlockRecord("miniredis", 0xDEAD0000, 4)]
+            )
+        assert "0xdead0000" in str(excinfo.value).lower()

@@ -1,0 +1,37 @@
+"""Smoke tests: the runnable examples must keep working end to end.
+
+Only the quicker examples run here (the slower two exercise code paths
+already covered by `tests/test_attacks.py`).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> None:
+    path = EXAMPLES / name
+    assert path.exists(), path
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "webdav_lockdown.py", "automatic_hardening.py"],
+)
+def test_example_runs_clean(name, capsys):
+    _run(name)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+    assert "Traceback" not in out

@@ -1,0 +1,139 @@
+"""§5 extension: automatic init/serving transition detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    LIGHTTPD_PORT,
+    REDIS_PORT,
+    nginx_worker,
+    stage_lighttpd,
+    stage_nginx,
+    stage_redis,
+)
+from repro.apps.httpd_lighttpd import LIGHTTPD_BINARY
+from repro.apps.kvstore import READY_LINE, REDIS_BINARY
+from repro.core import DynaCut, init_only_blocks
+from repro.core.autodetect import AutoNudgeTracer, autodetect_init_phase
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import HttpClient, RedisClient
+
+from .helpers import build_minic, run_image
+
+
+class TestAutoDetection:
+    def test_detects_redis_transition_without_human(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel, run_to_ready=False)
+        tracer, init_trace = autodetect_init_phase(kernel, proc)
+        # detection happens exactly at the ready point the human would
+        # have used: after the banner, before any client is served
+        assert READY_LINE in proc.stdout_text()
+        assert len(init_trace.module_blocks(REDIS_BINARY)) > 50
+        # the serving trace is fresh
+        client = RedisClient(kernel, REDIS_PORT)
+        client.ping()
+        serving = tracer.finish()
+        assert serving.module_blocks(REDIS_BINARY)
+        assert not (set(serving.order[:1]) & init_trace.blocks)
+
+    def test_matches_manual_ready_line_split(self):
+        """Automatic and manual profiling agree on the init-only set."""
+        def workload(kernel, proc):
+            client = RedisClient(kernel, REDIS_PORT)
+            for cmd in ("PING", "SET a 1", "GET a", "DEL a"):
+                client.command(cmd)
+
+        # manual: nudge at the observed ready line
+        kernel = Kernel()
+        proc = stage_redis(kernel, run_to_ready=False)
+        manual = BlockTracer(kernel, proc).attach()
+        kernel.run_until(lambda: READY_LINE in proc.stdout_text())
+        manual_init = manual.nudge_dump()
+        workload(kernel, proc)
+        manual_serving = manual.finish()
+        manual_report = init_only_blocks(manual_init, manual_serving,
+                                         REDIS_BINARY)
+
+        # automatic: listen→poll detection
+        kernel = Kernel()
+        proc = stage_redis(kernel, run_to_ready=False)
+        tracer, auto_init = autodetect_init_phase(kernel, proc)
+        workload(kernel, proc)
+        auto_serving = tracer.finish()
+        auto_report = init_only_blocks(auto_init, auto_serving, REDIS_BINARY)
+
+        manual_bytes = {
+            o for b in manual_report.init_only
+            for o in range(b.offset, b.offset + b.size)
+        }
+        auto_bytes = {
+            o for b in auto_report.init_only
+            for o in range(b.offset, b.offset + b.size)
+        }
+        # near-identical removable sets (>90% overlap both ways)
+        overlap = len(manual_bytes & auto_bytes)
+        assert overlap > 0.9 * len(manual_bytes)
+        assert overlap > 0.9 * len(auto_bytes)
+
+    def test_lighttpd_poll_transition(self):
+        kernel = Kernel()
+        proc = stage_lighttpd(kernel, run_to_ready=False)
+        tracer, init_trace = autodetect_init_phase(kernel, proc)
+        assert init_trace.module_blocks(LIGHTTPD_BINARY)
+        client = HttpClient(kernel, LIGHTTPD_PORT)
+        assert client.get("/").status == 200
+        tracer.detach()
+
+    def test_nginx_worker_accept_transition(self):
+        kernel = Kernel()
+        master = stage_nginx(kernel)
+        worker = nginx_worker(kernel, master)
+        # the worker is already past its transition; respawn a fresh
+        # scenario instead: attach to the worker and hit it — accept was
+        # already issued, so attach a tracer on a fresh kernel
+        kernel2 = Kernel()
+        master2 = stage_nginx(kernel2, run_to_ready=False)
+        tracer = None
+        # attach to the worker as soon as it exists
+        def worker_exists():
+            return any(
+                p.ppid == master2.pid and p.alive
+                for p in kernel2.processes.values()
+            )
+        kernel2.run_until(worker_exists, max_instructions=8_000_000)
+        worker2 = nginx_worker(kernel2, master2)
+        tracer = AutoNudgeTracer(kernel2, worker2).attach()
+        kernel2.run_until(lambda: tracer.transitioned,
+                          max_instructions=8_000_000)
+        assert tracer.transitioned
+        tracer.detach()
+
+    def test_end_to_end_automatic_removal(self):
+        """Fully automatic: detect, profile, remove, keep serving."""
+        kernel = Kernel()
+        proc = stage_redis(kernel, run_to_ready=False)
+        tracer, init_trace = autodetect_init_phase(kernel, proc)
+        client = RedisClient(kernel, REDIS_PORT)
+        for cmd in ("PING", "SET a 1", "GET a", "DEL a", "DBSIZE"):
+            client.command(cmd)
+        serving = tracer.finish()
+        report = init_only_blocks(init_trace, serving, REDIS_BINARY)
+        dynacut = DynaCut(kernel)
+        dynacut.remove_init_code(proc.pid, REDIS_BINARY,
+                                 list(report.init_only), wipe=True)
+        proc = dynacut.restored_process(proc.pid)
+        assert client.ping()
+        assert client.set("auto", "matic")
+        assert client.get("auto") == "matic"
+
+    def test_non_server_raises(self):
+        image = build_minic("func main() { return 7; }", "plain",
+                            with_libc=False)
+        kernel = Kernel()
+        kernel.register_binary(image)
+        proc = kernel.spawn("plain")
+        with pytest.raises(RuntimeError):
+            autodetect_init_phase(kernel, proc, max_instructions=10_000)

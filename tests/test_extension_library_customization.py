@@ -1,0 +1,94 @@
+"""§5 extension: dynamically customizing *shared library* code.
+
+The paper leaves library customization as future work ("a significant
+amount of initialization code in the standard C library ... unused
+shared library code can be dynamically unloaded through the process
+rewriting approach").  The mechanism here supports it directly: the
+init/serving split and the rewriter are module-parametric, so libc's
+init-only blocks can be wiped exactly like the application's.
+"""
+
+from __future__ import annotations
+
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import READY_LINE
+from repro.core import DynaCut, init_only_blocks
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+LIBC = "libc.so"
+
+
+def _profiled():
+    kernel = Kernel()
+    proc = stage_redis(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text())
+    init_trace = tracer.nudge_dump()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "SET a 1", "GET a", "DEL a", "EXISTS a", "DBSIZE",
+                "INCR n", "APPEND a x", "STRLEN a", "GETRANGE a 0 1",
+                "CONFIG GET port", "ECHO hi", "FLUSHALL", "INFO"):
+        client.command(cmd)
+    serving_trace = tracer.finish()
+    return kernel, proc, client, init_trace, serving_trace
+
+
+class TestLibraryCustomization:
+    def test_libc_has_init_only_code(self):
+        __, __, __, init_trace, serving_trace = _profiled()
+        report = init_only_blocks(init_trace, serving_trace, LIBC)
+        # config parsing (open/read/atoi paths) runs only during init
+        assert report.removable_count > 0
+        assert report.removable_bytes() > 0
+
+    def test_wiping_libc_init_code_keeps_server_working(self):
+        kernel, proc, client, init_trace, serving_trace = _profiled()
+        report = init_only_blocks(init_trace, serving_trace, LIBC)
+        dynacut = DynaCut(kernel)
+        dynacut.remove_init_code(
+            proc.pid, LIBC, list(report.init_only), wipe=True
+        )
+        proc = dynacut.restored_process(proc.pid)
+        # the full serving command set still works with libc slimmed
+        assert client.ping()
+        assert client.set("post", "libc-cut")
+        assert client.get("post") == "libc-cut"
+        assert client.command("APPEND post !") == ":9"
+        assert proc.alive
+
+    def test_wiped_libc_bytes_are_int3_at_library_base(self):
+        kernel, proc, client, init_trace, serving_trace = _profiled()
+        report = init_only_blocks(init_trace, serving_trace, LIBC)
+        dynacut = DynaCut(kernel)
+        dynacut.remove_init_code(
+            proc.pid, LIBC, list(report.init_only), wipe=True
+        )
+        proc = dynacut.restored_process(proc.pid)
+        libc_module = next(m for m in proc.modules if m.name == LIBC)
+        block = report.init_only[0]
+        raw = proc.memory.read_raw(libc_module.load_base + block.offset,
+                                   block.size)
+        assert raw == b"\xcc" * block.size
+
+    def test_app_and_library_customized_in_one_session(self):
+        """App init code and libc init code removed in a single rewrite."""
+        kernel, proc, client, init_trace, serving_trace = _profiled()
+        app_report = init_only_blocks(init_trace, serving_trace, "miniredis")
+        libc_report = init_only_blocks(init_trace, serving_trace, LIBC)
+
+        dynacut = DynaCut(kernel)
+
+        def actions(rewriter):
+            rewriter.wipe_blocks("miniredis", list(app_report.init_only))
+            rewriter.wipe_blocks(LIBC, list(libc_report.init_only))
+
+        report = dynacut.customize(proc.pid, actions)
+        proc = dynacut.restored_process(proc.pid)
+        assert report.stats.bytes_wiped == (
+            app_report.removable_bytes() + libc_report.removable_bytes()
+        )
+        assert client.ping()
+        assert client.set("both", "cut")
+        assert client.get("both") == "cut"

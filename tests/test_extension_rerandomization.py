@@ -1,0 +1,180 @@
+"""§5 extension: live library re-randomization via process rewriting.
+
+The paper lists "live code re-randomization [Shuffler]" among the
+problems process rewriting can solve.  These tests move libc under a
+*running* server: service continues, every stale pointer is rebased,
+and addresses an attacker leaked before the move are dead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    LIGHTTPD_PORT,
+    NGINX_PORT,
+    REDIS_PORT,
+    nginx_worker,
+    stage_lighttpd,
+    stage_nginx,
+    stage_redis,
+)
+from repro.apps.kvstore import REDIS_BINARY
+from repro.core import DynaCut, TraceDiff, TrapPolicy
+from repro.kernel import Kernel, ProcessState, Signal
+from repro.tracing import BlockTracer
+from repro.workloads import HttpClient, RedisClient
+
+
+def _libc_base(proc) -> int:
+    return next(m.load_base for m in proc.modules if m.name == "libc.so")
+
+
+class TestRerandomization:
+    def test_redis_survives_libc_move(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        client.set("k", "v")
+        before = _libc_base(proc)
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(proc.pid, "libc.so")
+        proc = dynacut.restored_process(proc.pid)
+        after = _libc_base(proc)
+        assert after != before
+        assert client.ping()
+        assert client.get("k") == "v"
+        assert client.set("post", "move")
+
+    def test_old_range_is_unmapped(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        before = _libc_base(proc)
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(proc.pid, "libc.so")
+        proc = dynacut.restored_process(proc.pid)
+        assert proc.memory.find_vma(before) is None
+
+    def test_repeated_moves(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        bases = {_libc_base(proc)}
+        dynacut = DynaCut(kernel)
+        for __ in range(3):
+            dynacut.rerandomize_library(proc.pid, "libc.so")
+            proc = dynacut.restored_process(proc.pid)
+            bases.add(_libc_base(proc))
+            assert client.ping()
+        assert len(bases) >= 2
+
+    def test_got_slots_repointed(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(proc.pid, "libc.so")
+        proc = dynacut.restored_process(proc.pid)
+        app = kernel.binaries[REDIS_BINARY]
+        libc = kernel.binaries["libc.so"]
+        new_base = _libc_base(proc)
+        for name, slot in app.got_entries.items():
+            resolved = int.from_bytes(proc.memory.read_raw(slot, 8), "little")
+            assert resolved == new_base + libc.symbol_address(name), name
+
+    def test_lighttpd_and_explicit_base(self):
+        kernel = Kernel()
+        proc = stage_lighttpd(kernel)
+        client = HttpClient(kernel, LIGHTTPD_PORT)
+        target = 0x7C00_0000_0000
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(proc.pid, "libc.so", new_base=target)
+        proc = dynacut.restored_process(proc.pid)
+        assert _libc_base(proc) == target
+        assert client.get("/").status == 200
+
+    def test_multiprocess_nginx_moves_together(self):
+        kernel = Kernel()
+        master = stage_nginx(kernel)
+        client = HttpClient(kernel, NGINX_PORT)
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(master.pid, "libc.so")
+        master = dynacut.restored_process(master.pid)
+        worker = nginx_worker(kernel, master)
+        assert _libc_base(master) != 0x7F00_0000_0000 or (
+            _libc_base(worker) != 0x7F00_0000_0000
+        )
+        assert client.get("/").status == 200
+        assert client.put("/f.txt", "x").status == 201
+
+
+class TestStaleAddressesDie:
+    def test_leaked_libc_address_pivot_fails(self):
+        """An attacker who leaked fork()'s libc address before the move
+        pivots into dead memory afterwards — no fork, worker dies."""
+        kernel = Kernel()
+        master = stage_nginx(kernel)
+        worker = nginx_worker(kernel, master)
+        libc = kernel.binaries["libc.so"]
+        leaked_fork = _libc_base(worker) + libc.symbol_address("fork")
+
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(master.pid, "libc.so")
+        master = dynacut.restored_process(master.pid)
+        worker = nginx_worker(kernel, master)
+
+        events_before = len(kernel.security_log)
+        worker.regs.rip = leaked_fork          # the stale pivot
+        if worker.state is ProcessState.BLOCKED:
+            worker.state = ProcessState.RUNNABLE
+            worker.wake_predicate = None
+        kernel.run(max_instructions=10_000,
+                   until=lambda: not worker.alive)
+        assert not worker.alive
+        assert worker.term_signal is Signal.SIGSEGV
+        assert not any(
+            e.kind == "fork" and e.pid == worker.pid
+            for e in kernel.security_log[events_before:]
+        )
+
+
+class TestComposesWithTrapHandler:
+    def test_feature_block_survives_libc_move(self):
+        """The injected handler library imports from libc; moving libc
+        must re-resolve its GOT so redirects keep working."""
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        tracer = BlockTracer(kernel, proc).attach()
+        client = RedisClient(kernel, REDIS_PORT)
+        for cmd in ("PING", "GET a", "DEL a"):
+            client.command(cmd)
+        wanted = tracer.nudge_dump()
+        client.command("SET a 1")
+        undesired = tracer.finish()
+        feature = TraceDiff(REDIS_BINARY).feature_blocks(
+            "SET", [wanted], [undesired]
+        )
+        dynacut = DynaCut(kernel)
+        dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.REDIRECT,
+            redirect_symbol="redis_unknown_cmd",
+        )
+        proc = dynacut.restored_process(proc.pid)
+        assert client.command("SET x 1").startswith("-ERR")
+
+        dynacut.rerandomize_library(proc.pid, "libc.so")
+        proc = dynacut.restored_process(proc.pid)
+        # trap still fires and still redirects gracefully
+        assert client.command("SET x 1").startswith("-ERR")
+        assert client.ping()
+        assert proc.alive
+
+
+class TestErrors:
+    def test_unknown_module_rejected(self):
+        from repro.core.rewriter import RewriteError
+
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        dynacut = DynaCut(kernel)
+        with pytest.raises(RewriteError):
+            dynacut.rerandomize_library(proc.pid, "nonexistent.so")

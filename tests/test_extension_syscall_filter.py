@@ -1,0 +1,163 @@
+"""§5 extension: dynamic seccomp-style syscall filtering.
+
+The paper's discussion proposes process rewriting as a way to
+"dynamically enable/disable seccomp filtering".  These tests cover the
+full loop: syscall-aware profiling, installing a post-init allow-list
+through a rewrite, SIGSYS enforcement, and *lifting* the filter again
+— the dynamic step a static seccomp policy cannot take back.
+"""
+
+from __future__ import annotations
+
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import READY_LINE
+from repro.core import (
+    DynaCut,
+    dropped_syscalls,
+    serving_allowlist,
+    specialization_report,
+)
+from repro.kernel import Kernel, Signal, Sys
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+from .helpers import build_minic, run_image
+
+
+def _profiled_redis():
+    kernel = Kernel()
+    proc = stage_redis(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text())
+    init_trace = tracer.nudge_dump()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "SET a 1", "GET a", "DEL a", "DBSIZE"):
+        client.command(cmd)
+    serving_trace = tracer.finish()
+    return kernel, proc, client, init_trace, serving_trace
+
+
+class TestSyscallTracing:
+    def test_phases_record_different_syscalls(self):
+        __, __, __, init_trace, serving_trace = _profiled_redis()
+        assert int(Sys.OPEN) in init_trace.syscalls      # config file
+        assert int(Sys.BIND) in init_trace.syscalls
+        assert int(Sys.RECV) in serving_trace.syscalls
+        assert int(Sys.SEND) in serving_trace.syscalls
+        dropped = dropped_syscalls(init_trace, serving_trace)
+        assert int(Sys.OPEN) in dropped
+        assert int(Sys.BIND) in dropped
+
+    def test_trace_text_roundtrip_keeps_syscalls(self):
+        __, __, __, init_trace, __ = _profiled_redis()
+        from repro.tracing import CoverageTrace
+
+        parsed = CoverageTrace.from_text(init_trace.to_text())
+        assert parsed.syscalls == init_trace.syscalls
+
+    def test_specialization_report_names(self):
+        __, __, __, init_trace, serving_trace = _profiled_redis()
+        report = specialization_report(init_trace, serving_trace)
+        assert "OPEN" in report["dropped"]
+        assert "RECV" in report["serving_syscalls"]
+        assert "EXIT" in report["allowed"]
+
+
+class TestKernelEnforcement:
+    def test_filter_violation_raises_sigsys(self):
+        image = build_minic(
+            "extern func fork;\nfunc main() { fork(); return 0; }", "forker"
+        )
+        kernel = Kernel()
+        from repro.apps import libc_image
+
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("forker")
+        # install the filter before the program runs at all
+        proc.syscall_filter = frozenset({int(Sys.EXIT), int(Sys.WRITE)})
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.term_signal is Signal.SIGSYS
+        assert any(
+            e.kind == "seccomp-violation" for e in kernel.security_log
+        )
+
+    def test_allowed_syscalls_pass(self):
+        image = build_minic(
+            'func main() { syscall(2, 1, "ok", 2); return 5; }', "writer"
+        )
+        kernel = Kernel()
+        from repro.apps import libc_image
+
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("writer")
+        proc.syscall_filter = frozenset({1, 2})   # exit, write
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 5
+        assert proc.stdout_text() == "ok"
+
+    def test_no_filter_means_unrestricted(self):
+        image = build_minic(
+            "extern func getpid;\nfunc main() { return getpid() > 0; }", "free"
+        )
+        __, proc = run_image(image)
+        assert proc.exit_code == 1
+
+
+class TestDynamicFilterLifecycle:
+    def test_post_init_filter_blocks_sensitive_calls(self):
+        kernel, proc, client, init_trace, serving_trace = _profiled_redis()
+        allowed = serving_allowlist(serving_trace)
+        assert int(Sys.FORK) not in allowed
+        assert int(Sys.OPEN) not in allowed
+
+        dynacut = DynaCut(kernel)
+        dynacut.restrict_syscalls(proc.pid, set(allowed))
+        proc = dynacut.restored_process(proc.pid)
+        assert proc.syscall_filter == allowed
+
+        # normal service continues under the filter
+        assert client.ping()
+        assert client.set("k", "v")
+        assert client.get("k") == "v"
+
+    def test_filtered_server_dies_on_off_profile_syscall(self):
+        kernel, proc, client, init_trace, serving_trace = _profiled_redis()
+        # remove CONFIG-file access post-init; then force the server down
+        # a path needing open(): the CONFIG GET command never does I/O,
+        # so use a filter *without* send to prove enforcement instead
+        allowed = set(serving_allowlist(serving_trace))
+        allowed.discard(int(Sys.SEND))
+        dynacut = DynaCut(kernel)
+        dynacut.restrict_syscalls(proc.pid, allowed)
+        proc = dynacut.restored_process(proc.pid)
+        sock = kernel.connect(REDIS_PORT)
+        sock.send("PING\n")
+        kernel.run_until(lambda: not proc.alive, max_instructions=2_000_000)
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGSYS
+
+    def test_filter_survives_checkpoint_restore(self):
+        from repro.criu import checkpoint_tree, restore_tree
+
+        kernel, proc, client, __, serving_trace = _profiled_redis()
+        dynacut = DynaCut(kernel)
+        allowed = serving_allowlist(serving_trace)
+        dynacut.restrict_syscalls(proc.pid, set(allowed))
+        proc = dynacut.restored_process(proc.pid)
+        checkpoint = checkpoint_tree(kernel, proc.pid)
+        (restored,) = restore_tree(kernel, checkpoint)
+        assert restored.syscall_filter == allowed
+
+    def test_filter_can_be_lifted_dynamically(self):
+        kernel, proc, client, __, serving_trace = _profiled_redis()
+        dynacut = DynaCut(kernel)
+        dynacut.restrict_syscalls(proc.pid, set(serving_allowlist(serving_trace)))
+        proc = dynacut.restored_process(proc.pid)
+        assert proc.syscall_filter is not None
+
+        dynacut.restrict_syscalls(proc.pid, None)   # the dynamic lift
+        proc = dynacut.restored_process(proc.pid)
+        assert proc.syscall_filter is None
+        assert client.ping()

@@ -1,0 +1,110 @@
+"""Full-lifecycle integration test: the Figure 10 scenario end to end.
+
+Lighttpd serves pages; after initialization the admin removes init-only
+code; later a maintenance window re-enables HTTP PUT for an upload and
+closes it again; finally the server keeps serving — all on one live
+process with its connections intact, and with the live-code footprint
+shrinking at every step compared to the static baselines.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import build_cfg
+from repro.apps import LIGHTTPD_PORT, stage_lighttpd
+from repro.apps.httpd_lighttpd import FORBIDDEN_SYMBOL, LIGHTTPD_BINARY, READY_LINE
+from repro.core import (
+    BlockMode,
+    DynaCut,
+    TraceDiff,
+    TrapPolicy,
+    chisel_debloat,
+    init_only_blocks,
+    razor_debloat,
+)
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer, merge_traces
+from repro.workloads import HttpClient
+
+
+def test_full_dynamic_customization_lifecycle():
+    kernel = Kernel()
+    proc = stage_lighttpd(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text())
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+
+    # ---- phase 1: profile init vs serving (GET-only workload + POST)
+    init_trace = tracer.nudge_dump()
+    for __ in range(3):
+        assert client.get("/").status == 200
+    client.head("/")
+    client.options("/")
+    client.post("/echo", "data")
+    wanted_trace = tracer.nudge_dump()
+    client.put("/probe.txt", "x")
+    client.delete("/probe.txt")
+    dav_trace = tracer.finish()
+
+    serving_trace = merge_traces([wanted_trace, dav_trace])
+    init_report = init_only_blocks(init_trace, serving_trace, LIGHTTPD_BINARY)
+    dav_feature = TraceDiff(LIGHTTPD_BINARY).feature_blocks(
+        "dav-write", [wanted_trace], [dav_trace]
+    )
+    assert init_report.removable_count > 0
+    assert dav_feature.count > 0
+
+    dynacut = DynaCut(kernel)
+
+    # ---- phase 2: drop init code and lock down WebDAV writes
+    dynacut.remove_init_code(
+        proc.pid, LIGHTTPD_BINARY, list(init_report.init_only), wipe=True
+    )
+    proc = dynacut.restored_process(proc.pid)
+    dynacut.disable_feature(
+        proc.pid, dav_feature, policy=TrapPolicy.REDIRECT,
+        mode=BlockMode.ENTRY, redirect_symbol=FORBIDDEN_SYMBOL,
+    )
+    proc = dynacut.restored_process(proc.pid)
+
+    assert client.get("/").status == 200
+    assert client.put("/locked.txt", "no").status == 403
+    assert proc.alive
+
+    # ---- phase 3: maintenance window — re-enable writes, upload, re-lock
+    dynacut.enable_feature(proc.pid, dav_feature)
+    proc = dynacut.restored_process(proc.pid)
+    assert client.put("/upload.txt", "maintenance data").status == 201
+    assert kernel.fs.read_file("/var/www/upload.txt") == b"maintenance data"
+
+    dynacut.disable_feature(
+        proc.pid, dav_feature, policy=TrapPolicy.REDIRECT,
+        mode=BlockMode.ENTRY, redirect_symbol=FORBIDDEN_SYMBOL,
+    )
+    proc = dynacut.restored_process(proc.pid)
+    assert client.put("/again.txt", "no").status == 403
+    assert client.get("/upload.txt").body == b"maintenance data"
+
+    # ---- phase 4: the uploaded content keeps serving, history recorded
+    assert client.get("/").status == 200
+    assert len(dynacut.history) == 4
+
+    # ---- live-code comparison against the static baselines
+    binary = kernel.binaries[LIGHTTPD_BINARY]
+    cfg = build_cfg(binary)
+    traces = [init_trace, wanted_trace, dav_trace]
+    razor = razor_debloat(binary, traces)
+    chisel = chisel_debloat(binary, traces)
+
+    wiped_bytes = init_report.removable_bytes()
+    executed_bytes = merge_traces(traces)
+    total_executed = sum(
+        b.size for b in executed_bytes.module_blocks(LIGHTTPD_BINARY)
+    )
+    # DynaCut's post-init live code is strictly smaller than what either
+    # static tool must keep (they cannot remove executed init code)
+    dynacut_live_blocks = (
+        init_report.total_executed - init_report.removable_count
+    )
+    assert dynacut_live_blocks < razor.kept_count
+    assert dynacut_live_blocks < chisel.kept_count
+    assert 0 < wiped_bytes < total_executed

@@ -1,0 +1,143 @@
+"""Cross-cutting invariants over the toolchain and analysis layers.
+
+These don't test single functions; they pin down properties the whole
+pipeline relies on (DESIGN.md §6): linked images are internally
+consistent, static CFGs partition code soundly, and compiled programs
+behave identically before and after a null rewrite.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import build_cfg
+from repro.apps import (
+    libc_image,
+    lighttpd_image,
+    nginx_image,
+    redis_image,
+    spec_image,
+)
+from repro.apps.spec import benchmark_names
+from repro.binfmt import PAGE_SIZE
+from repro.criu import checkpoint_tree, restore_tree
+from repro.kernel import Kernel
+
+from .helpers import build_minic, run_minic
+
+ALL_IMAGES = [
+    libc_image, redis_image, lighttpd_image, nginx_image,
+] + [lambda name=name: spec_image(name) for name in benchmark_names()]
+
+
+class TestImageConsistency:
+    def test_segments_do_not_overlap(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            segments = sorted(image.segments, key=lambda s: s.vaddr)
+            for a, b in zip(segments, segments[1:]):
+                assert a.vaddr + a.memsize <= b.vaddr, image.name
+
+    def test_segments_page_aligned(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            for seg in image.segments:
+                assert seg.vaddr % PAGE_SIZE == 0, (image.name, seg.name)
+
+    def test_symbols_inside_segments(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            spans = [(s.vaddr, s.end) for s in image.segments]
+            for name, sym in image.symbols.items():
+                assert any(lo <= sym.vaddr <= hi for lo, hi in spans), (
+                    image.name, name, hex(sym.vaddr)
+                )
+
+    def test_plt_entries_inside_plt_segment(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            if not image.plt_entries:
+                continue
+            plt = image.segment("plt")
+            for name, stub in image.plt_entries.items():
+                assert plt.vaddr <= stub < plt.vaddr + len(plt.data), (
+                    image.name, name
+                )
+
+    def test_dynamic_relocs_point_into_image(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            spans = [(s.vaddr, s.end) for s in image.segments]
+            for reloc in image.dynamic_relocs:
+                assert any(lo <= reloc.vaddr < hi for lo, hi in spans), (
+                    image.name, hex(reloc.vaddr)
+                )
+
+    def test_serialization_roundtrip_everywhere(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            from repro.binfmt import load_self
+
+            clone = load_self(image.to_bytes())
+            assert clone.symbols.keys() == image.symbols.keys()
+            assert clone.plt_entries == image.plt_entries
+            assert [s.data for s in clone.segments] == [
+                s.data for s in image.segments
+            ]
+
+
+class TestCfgSoundness:
+    def test_blocks_never_overlap(self):
+        for factory in ALL_IMAGES:
+            cfg = build_cfg(factory())
+            blocks = sorted(cfg.blocks)
+            for a, b in zip(blocks, blocks[1:]):
+                assert a.end <= b.start, factory().name
+
+    def test_edges_target_leaders(self):
+        for factory in ALL_IMAGES:
+            cfg = build_cfg(factory())
+            leaders = cfg.block_starts()
+            for source, successors in cfg.edges.items():
+                assert source in leaders
+                for target in successors:
+                    # direct targets must themselves be discovered blocks
+                    assert target in leaders, (factory().name, hex(target))
+
+    def test_function_entries_are_leaders(self):
+        for factory in ALL_IMAGES:
+            image = factory()
+            cfg = build_cfg(image)
+            leaders = cfg.block_starts()
+            text_start, text_end = image.text_range()
+            for name, sym in image.functions().items():
+                if text_start <= sym.vaddr < text_end:
+                    assert sym.vaddr in leaders, (image.name, name)
+
+
+class TestNullRewriteTransparency:
+    """A checkpoint/restore with no mutation must be invisible to the
+    guest program (the identity property every rewrite builds on)."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 200))
+    def test_compute_result_unchanged(self, seed):
+        source = (
+            "extern func srand;\nextern func rand_next;\n"
+            "func main() {{ srand({seed}); var acc = 0; var i = 0; "
+            "while (i < 20) {{ acc = (acc + rand_next()) & 0xffff; "
+            "i = i + 1; }} return acc & 0x7f; }}"
+        ).format(seed=seed)
+        __, proc_a = run_minic(source)
+        expected = proc_a.exit_code
+
+        image = build_minic(source, "prog")
+        kernel = Kernel()
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("prog")
+        kernel.run(max_instructions=500)           # stop mid-computation
+        checkpoint = checkpoint_tree(kernel, proc.pid)
+        (restored,) = restore_tree(kernel, checkpoint)
+        kernel.run_until(lambda: not restored.alive)
+        assert restored.exit_code == expected

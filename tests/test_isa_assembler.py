@@ -1,0 +1,165 @@
+"""Tests for the VM64 assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binfmt import RelocType
+from repro.isa import AssemblyError, assemble, decode
+
+
+def asm(text: str):
+    return assemble(text, "t.o")
+
+
+class TestInstructions:
+    def test_simple_text(self):
+        module = asm("movi r1, 5\nmov r2, r1\nret\n")
+        text = module.sections["text"]
+        first = decode(bytes(text))
+        assert first.mnemonic == "movi"
+        assert first.operands == (1, 5)
+
+    def test_register_aliases(self):
+        module = asm("mov sp, fp\n")
+        ins = decode(bytes(module.sections["text"]))
+        assert ins.operands == (15, 14)
+
+    def test_hex_and_char_immediates(self):
+        module = asm("movi r0, 0x10\nmovi r1, 'A'\n")
+        text = bytes(module.sections["text"])
+        assert decode(text).operands == (0, 0x10)
+        assert decode(text, 10).operands == (1, 65)
+
+    def test_negative_immediate(self):
+        module = asm("addi r0, -8\n")
+        assert decode(bytes(module.sections["text"])).operands == (0, -8)
+
+    def test_memory_operands(self):
+        module = asm("ld64 r1, [r2+16]\nst8 [r3-4], r4\nld8 r5, [r6]\n")
+        text = bytes(module.sections["text"])
+        ld = decode(text)
+        assert ld.mnemonic == "ld64" and ld.operands == (1, 2, 16)
+        st = decode(text, ld.length)
+        assert st.mnemonic == "st8" and st.operands == (3, 4, -4)
+        ld8 = decode(text, ld.length + st.length)
+        assert ld8.operands == (5, 6, 0)
+
+    def test_branch_creates_pcrel_reloc(self):
+        module = asm("start:\n  jmp start\n")
+        (reloc,) = module.relocations
+        assert reloc.type is RelocType.PCREL32
+        assert reloc.symbol == "start"
+        assert reloc.offset == 1  # rel32 field of the 5-byte jmp
+
+    def test_movi_symbol_creates_abs64_reloc(self):
+        module = asm("movi r1, @target\n.section data\ntarget: .quad 0\n")
+        (reloc,) = module.relocations
+        assert reloc.type is RelocType.ABS64
+        assert reloc.symbol == "target"
+        assert reloc.offset == 2  # after opcode + reg byte
+
+    def test_symbol_ref_with_addend(self):
+        module = asm("movi r1, @buf+16\n.section bss\nbuf: .space 32\n")
+        (reloc,) = module.relocations
+        assert reloc.addend == 16
+
+
+class TestLabelsAndSymbols:
+    def test_label_offsets(self):
+        module = asm("a:\n  nop\nb:\n  nop\n  nop\nc:\n")
+        assert module.symbols["a"].offset == 0
+        assert module.symbols["b"].offset == 1
+        assert module.symbols["c"].offset == 3
+
+    def test_global_directive(self):
+        module = asm(".global main\nmain:\n  ret\n")
+        assert module.symbols["main"].is_global
+
+    def test_local_by_default(self):
+        module = asm("helper:\n  ret\n")
+        assert not module.symbols["helper"].is_global
+
+    def test_function_vs_local_labels(self):
+        module = asm("f:\n  nop\n_Lloop_1:\n  ret\n")
+        assert module.symbols["f"].is_function
+        assert not module.symbols["_Lloop_1"].is_function
+
+    def test_marker_directive(self):
+        module = asm("f:\n  nop\n.marker landing\n  ret\n")
+        sym = module.symbols["landing"]
+        assert sym.offset == 1
+        assert not sym.is_function
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            asm("x:\nx:\n")
+
+    def test_label_then_instruction_same_line(self):
+        module = asm("go: nop\n")
+        assert module.symbols["go"].offset == 0
+        assert module.section_size("text") == 1
+
+
+class TestDirectives:
+    def test_byte_and_quad(self):
+        module = asm(".section data\n.byte 1, 2, 0xFF\n.quad 0x1122334455667788\n")
+        data = bytes(module.sections["data"])
+        assert data[:3] == b"\x01\x02\xff"
+        assert data[3:11] == bytes.fromhex("8877665544332211")
+
+    def test_asciiz_with_escapes(self):
+        module = asm('.section rodata\n.asciiz "hi\\n"\n')
+        assert bytes(module.sections["rodata"]) == b"hi\n\x00"
+
+    def test_ascii_no_terminator(self):
+        module = asm('.section rodata\n.ascii "ab"\n')
+        assert bytes(module.sections["rodata"]) == b"ab"
+
+    def test_string_with_comment_chars_inside(self):
+        module = asm('.section rodata\n.asciiz "a;b#c"\n')
+        assert bytes(module.sections["rodata"]) == b"a;b#c\x00"
+
+    def test_space_in_bss(self):
+        module = asm(".section bss\nbuf: .space 100\n")
+        assert module.bss_size == 100
+        assert module.symbols["buf"].section == "bss"
+
+    def test_align_text_pads_with_nop(self):
+        module = asm("nop\n.align 8\nhere:\n")
+        assert module.symbols["here"].offset == 8
+        assert bytes(module.sections["text"][1:8]) == b"\x90" * 7
+
+    def test_quad_symbol_reference(self):
+        module = asm(".section data\ntable: .quad @f, 0\n.section text\nf: ret\n")
+        (reloc,) = module.relocations
+        assert reloc.section == "data"
+        assert reloc.symbol == "f"
+
+    def test_comments_stripped(self):
+        module = asm("; full line\nnop ; trailing\n# hash comment\n")
+        assert module.section_size("text") == 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "frobnicate r1\n",             # unknown mnemonic
+            "movi r1\n",                   # missing operand
+            "mov r99, r1\n",               # bad register
+            ".section nowhere\n",          # unknown section
+            ".unknowndirective 3\n",
+            '.asciiz nope\n',              # unquoted string
+            ".section data\nnop\n",        # instruction outside text
+            "ld64 r1, [qq+2]\n",           # bad base register
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(AssemblyError):
+            asm(source)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            asm("nop\nbadop r1\n")
+        assert excinfo.value.line_no == 2

@@ -1,0 +1,90 @@
+"""Tests for linear-sweep disassembly helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    SPEC_BY_MNEMONIC,
+    disassemble_one,
+    disassemble_range,
+    encode_fields,
+    format_listing,
+)
+
+
+def _enc(mnemonic, *ops):
+    return encode_fields(SPEC_BY_MNEMONIC[mnemonic], tuple(ops))
+
+
+class TestDisassembleOne:
+    def test_address_and_length(self):
+        data = _enc("movi", 1, 42)
+        decoded = disassemble_one(data, 0x1000, base=0x1000)
+        assert decoded.address == 0x1000
+        assert decoded.end == 0x1000 + 10
+        assert decoded.mnemonic == "movi"
+
+    def test_branch_target_resolution(self):
+        # jmp +6 at 0x2000: target = 0x2000 + 5 + 6
+        data = _enc("jmp", 6)
+        decoded = disassemble_one(data, 0x2000, base=0x2000)
+        assert decoded.branch_target() == 0x2000 + 5 + 6
+        assert decoded.is_terminator()
+        assert not decoded.is_conditional()
+
+    def test_conditional_flags(self):
+        data = _enc("jne", -4)
+        decoded = disassemble_one(data, 0, base=0)
+        assert decoded.is_conditional()
+        assert decoded.branch_target() == 5 - 4
+
+    def test_indirect_has_no_target(self):
+        data = _enc("jmpr", 3)
+        decoded = disassemble_one(data, 0, base=0)
+        assert decoded.is_terminator()
+        assert decoded.branch_target() is None
+
+    def test_lea_target(self):
+        data = _enc("lea", 2, 0x40)
+        decoded = disassemble_one(data, 0x100, base=0x100)
+        assert decoded.lea_target() == 0x100 + 6 + 0x40
+        assert disassemble_one(_enc("nop"), 0, base=0).lea_target() is None
+
+
+class TestDisassembleRange:
+    def test_full_range_decodes(self):
+        data = _enc("movi", 0, 1) + _enc("addi", 0, 2) + _enc("ret")
+        instructions, stop = disassemble_range(data, 0, len(data), base=0)
+        assert [i.mnemonic for i in instructions] == ["movi", "addi", "ret"]
+        assert stop == len(data)
+
+    def test_stops_at_garbage(self):
+        data = _enc("nop") + b"\xff\xff" + _enc("ret")
+        instructions, stop = disassemble_range(data, 0, len(data), base=0)
+        assert [i.mnemonic for i in instructions] == ["nop"]
+        assert stop == 1
+
+    def test_respects_end_boundary(self):
+        data = _enc("movi", 0, 1) + _enc("movi", 1, 2)
+        instructions, stop = disassemble_range(data, 0, 12, base=0)
+        # the second movi (10 bytes) would cross the 12-byte boundary
+        assert len(instructions) == 1
+        assert stop == 10
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.sampled_from(["nop", "ret", "int3", "syscall"]),
+                    min_size=1, max_size=30))
+    def test_one_byte_streams_decode_completely(self, mnemonics):
+        data = b"".join(_enc(m) for m in mnemonics)
+        instructions, stop = disassemble_range(data, 0, len(data), base=0)
+        assert [i.mnemonic for i in instructions] == mnemonics
+        assert stop == len(data)
+
+    def test_format_listing(self):
+        data = _enc("nop") + _enc("ret")
+        instructions, __ = disassemble_range(data, 0x400000, 0x400002,
+                                             base=0x400000)
+        text = format_listing(instructions)
+        assert "0x00400000: nop" in text
+        assert "ret" in text

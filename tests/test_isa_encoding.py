@@ -1,0 +1,142 @@
+"""Unit and property tests for VM64 instruction encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    INSTRUCTION_SPECS,
+    INT3_OPCODE,
+    Instruction,
+    Operand,
+    SPEC_BY_MNEMONIC,
+    decode,
+    encode,
+    encode_fields,
+)
+from repro.isa.encoding import DecodeError, EncodeError
+
+
+def _operand_strategy(kind: Operand):
+    if kind is Operand.REG:
+        return st.integers(0, 15)
+    if kind is Operand.IMM64:
+        return st.integers(0, (1 << 64) - 1)
+    return st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+@st.composite
+def instructions(draw):
+    spec = draw(st.sampled_from(INSTRUCTION_SPECS))
+    operands = tuple(draw(_operand_strategy(kind)) for kind in spec.operands)
+    return Instruction(spec, operands)
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_roundtrip(self, instruction):
+        data = encode(instruction)
+        decoded = decode(data)
+        assert decoded.spec is instruction.spec
+        assert decoded.operands == instruction.operands
+
+    @given(instructions())
+    def test_encoded_length_matches_spec(self, instruction):
+        assert len(encode(instruction)) == instruction.spec.length
+
+    @given(instructions(), st.binary(min_size=0, max_size=16))
+    def test_trailing_bytes_ignored(self, instruction, suffix):
+        data = encode(instruction) + suffix
+        decoded = decode(data)
+        assert decoded.operands == instruction.operands
+
+
+class TestInt3:
+    def test_int3_is_one_byte_0xcc(self):
+        spec = SPEC_BY_MNEMONIC["int3"]
+        assert spec.opcode == INT3_OPCODE == 0xCC
+        assert spec.length == 1
+        assert encode_fields(spec, ()) == b"\xcc"
+
+    def test_single_0xcc_byte_decodes_to_int3(self):
+        assert decode(b"\xcc").mnemonic == "int3"
+
+
+class TestDecodeErrors:
+    def test_empty_stream(self):
+        with pytest.raises(DecodeError):
+            decode(b"")
+
+    @pytest.mark.parametrize("opcode", [0x7F, 0xFE, 0x2A, 0xAB])
+    def test_unknown_opcode(self, opcode):
+        with pytest.raises(DecodeError):
+            decode(bytes([opcode]))
+
+    def test_truncated_operands(self):
+        movi = encode_fields(SPEC_BY_MNEMONIC["movi"], (3, 42))
+        with pytest.raises(DecodeError):
+            decode(movi[:-1])
+
+    def test_register_out_of_range(self):
+        raw = bytes([SPEC_BY_MNEMONIC["mov"].opcode, 16, 0])
+        with pytest.raises(DecodeError):
+            decode(raw)
+
+    def test_offset_decoding(self):
+        nop = SPEC_BY_MNEMONIC["nop"]
+        data = b"\x00\x00" + encode_fields(nop, ())
+        assert decode(data, offset=2).mnemonic == "nop"
+
+
+class TestEncodeErrors:
+    def test_wrong_operand_count(self):
+        with pytest.raises(EncodeError):
+            encode_fields(SPEC_BY_MNEMONIC["mov"], (1,))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode_fields(SPEC_BY_MNEMONIC["push"], (16,))
+
+    def test_imm32_overflow(self):
+        with pytest.raises(EncodeError):
+            encode_fields(SPEC_BY_MNEMONIC["addi"], (0, 1 << 31))
+
+
+class TestSpecTable:
+    def test_opcodes_unique(self):
+        opcodes = [spec.opcode for spec in INSTRUCTION_SPECS]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_mnemonics_unique(self):
+        names = [spec.mnemonic for spec in INSTRUCTION_SPECS]
+        assert len(names) == len(set(names))
+
+    def test_operand_sizes(self):
+        assert Operand.REG.size == 1
+        assert Operand.IMM32.size == 4
+        assert Operand.REL32.size == 4
+        assert Operand.IMM64.size == 8
+
+    def test_instruction_str_smoke(self):
+        movi = SPEC_BY_MNEMONIC["movi"]
+        text = str(Instruction(movi, (1, 0x1234)))
+        assert "movi" in text and "r1" in text
+
+
+class TestInstructionLengthAt:
+    def test_length_from_opcode_only(self):
+        from repro.isa.encoding import instruction_length_at
+
+        movi = encode_fields(SPEC_BY_MNEMONIC["movi"], (1, 7))
+        stream = b"\x00" * 4 + movi
+        assert instruction_length_at(stream, 4) == 10
+        assert instruction_length_at(b"\xcc") == 1
+
+    def test_errors(self):
+        from repro.isa.encoding import instruction_length_at
+
+        with pytest.raises(DecodeError):
+            instruction_length_at(b"")
+        with pytest.raises(DecodeError):
+            instruction_length_at(b"\xfe")

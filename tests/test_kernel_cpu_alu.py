@@ -1,0 +1,132 @@
+"""Property tests: the CPU's ALU vs reference 64-bit semantics.
+
+Each test assembles a two-instruction program around one opcode and
+compares the guest result with Python's arbitrary-precision arithmetic
+masked to 64 bits — the interpreter must wrap exactly like hardware.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import Kernel
+
+from .helpers import build_asm
+
+_MASK = (1 << 64) - 1
+
+u64 = st.integers(0, _MASK)
+nonzero = st.integers(1, _MASK)
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _run_binop(mnemonic: str, a: int, b: int) -> int:
+    source = f"""
+.global _start
+_start:
+    movi r1, {a}
+    movi r2, {b}
+    {mnemonic} r1, r2
+    mov r3, r1
+    movi r0, 1
+    shri r3, 56        ; exit code is one byte: return the top byte
+    mov r1, r3
+    syscall
+"""
+    image = build_asm(source, f"alu_{mnemonic}")
+    kernel = Kernel()
+    kernel.register_binary(image)
+    proc = kernel.spawn(image.name)
+    kernel.run_until(lambda: not proc.alive, max_instructions=100)
+    assert proc.term_signal is None, proc.term_signal
+    return proc.exit_code
+
+
+def _top_byte(value: int) -> int:
+    return (value & _MASK) >> 56
+
+
+class TestArithmetic:
+    @settings(max_examples=30, deadline=None)
+    @given(u64, u64)
+    def test_add_wraps(self, a, b):
+        assert _run_binop("add", a, b) == _top_byte(a + b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(u64, u64)
+    def test_sub_wraps(self, a, b):
+        assert _run_binop("sub", a, b) == _top_byte(a - b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(u64, u64)
+    def test_mul_wraps(self, a, b):
+        assert _run_binop("mul", a, b) == _top_byte(a * b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(u64, nonzero)
+    def test_div_truncates_toward_zero(self, a, b):
+        expected = int(_signed(a) / _signed(b)) if _signed(b) != 0 else 0
+        assert _run_binop("div", a, b) == _top_byte(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(u64, nonzero)
+    def test_mod_matches_c(self, a, b):
+        sa, sb = _signed(a), _signed(b)
+        expected = sa - int(sa / sb) * sb
+        assert _run_binop("mod", a, b) == _top_byte(expected)
+
+
+class TestBitwise:
+    @settings(max_examples=25, deadline=None)
+    @given(u64, u64)
+    def test_and_or_xor(self, a, b):
+        assert _run_binop("and", a, b) == _top_byte(a & b)
+        assert _run_binop("or", a, b) == _top_byte(a | b)
+        assert _run_binop("xor", a, b) == _top_byte(a ^ b)
+
+    @settings(max_examples=25, deadline=None)
+    @given(u64, st.integers(0, 63))
+    def test_shifts_mask_count(self, a, s):
+        assert _run_binop("shl", a, s) == _top_byte(a << s)
+        assert _run_binop("shr", a, s) == _top_byte(a >> s)
+
+    @settings(max_examples=15, deadline=None)
+    @given(u64, st.integers(64, 1 << 63))
+    def test_shift_count_taken_mod_64(self, a, s):
+        assert _run_binop("shl", a, s) == _top_byte(a << (s & 63))
+
+
+class TestCompare:
+    @settings(max_examples=30, deadline=None)
+    @given(u64, u64)
+    def test_signed_comparison_flags(self, a, b):
+        source = f"""
+.global _start
+_start:
+    movi r1, {a}
+    movi r2, {b}
+    cmp r1, r2
+    jl _less
+    je _equal
+    movi r1, 2         ; greater
+    jmp _done
+_less:
+    movi r1, 0
+    jmp _done
+_equal:
+    movi r1, 1
+_done:
+    movi r0, 1
+    syscall
+"""
+        image = build_asm(source, "cmp_flags")
+        kernel = Kernel()
+        kernel.register_binary(image)
+        proc = kernel.spawn("cmp_flags")
+        kernel.run_until(lambda: not proc.alive, max_instructions=100)
+        sa, sb = _signed(a), _signed(b)
+        expected = 0 if sa < sb else (1 if sa == sb else 2)
+        assert proc.exit_code == expected

@@ -1,0 +1,169 @@
+"""Kernel edge cases: signals in handlers, odd syscall arguments, poll."""
+
+from __future__ import annotations
+
+from repro.apps import libc_image
+from repro.kernel import Kernel, Signal
+
+from .helpers import build_minic, run_image, run_minic
+
+
+class TestSignalEdgeCases:
+    def test_fault_inside_handler_terminates(self):
+        source = r"""
+extern func sigaction;
+func on_trap(sig, frame, fault) {
+    return load8(0x10);      // the handler itself faults
+}
+func main() {
+    sigaction(5, on_trap);
+    asm("int3");
+    return 0;
+}
+"""
+        __, proc = run_minic(source)
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGSEGV
+
+    def test_handler_uninstall(self):
+        source = r"""
+extern func sigaction;
+func on_trap(sig, frame, fault) { return 0; }
+func main() {
+    sigaction(5, on_trap);
+    asm("int3");             // caught
+    syscall(16, 5, 0, 0);    // uninstall (handler = 0)
+    asm("int3");             // default disposition now: die
+    return 7;
+}
+"""
+        __, proc = run_minic(source)
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGTRAP
+
+    def test_fork_child_inherits_sigactions(self):
+        source = r"""
+extern func sigaction; extern func fork; extern func waitpid;
+func on_trap(sig, frame, fault) { return 0; }
+func main() {
+    sigaction(5, on_trap);
+    var pid = fork();
+    if (pid == 0) {
+        asm("int3");         // caught via the inherited handler
+        return 21;
+    }
+    waitpid(pid);
+    return 4;
+}
+"""
+        kernel, proc = run_minic(source)
+        assert proc.exit_code == 4
+        child = next(p for p in kernel.processes.values() if p.ppid == proc.pid)
+        assert child.exit_code == 21
+        assert child.term_signal is None
+
+    def test_invalid_signal_number_rejected(self):
+        __, proc = run_minic(
+            "func main() { return syscall(16, 200, 4096, 0) < 0; }"
+        )
+        assert proc.exit_code == 1
+
+    def test_kill_unknown_pid_is_esrch(self):
+        __, proc = run_minic(
+            "extern func kill;\nfunc main() { return kill(9999, 15) < 0; }"
+        )
+        assert proc.exit_code == 1
+
+
+class TestSyscallArgumentEdges:
+    def test_write_with_bad_pointer_is_efault(self):
+        __, proc = run_minic(
+            "func main() { return syscall(2, 1, 0x10, 4) < 0; }"
+        )
+        assert proc.exit_code == 1
+
+    def test_unknown_syscall_is_enosys(self):
+        __, proc = run_minic("func main() { return syscall(77) < 0; }")
+        assert proc.exit_code == 1
+
+    def test_mmap_zero_length_rejected(self):
+        __, proc = run_minic(
+            "extern func mmap;\nfunc main() { return mmap(0, 0, 3) < 0; }"
+        )
+        assert proc.exit_code == 1
+
+    def test_poll_zero_count_rejected(self):
+        __, proc = run_minic(
+            "extern func poll;\nvar fds[8];\n"
+            "func main() { return poll(fds, 0) < 0; }"
+        )
+        assert proc.exit_code == 1
+
+    def test_write_zero_length_ok(self):
+        __, proc = run_minic(
+            'func main() { return syscall(2, 1, "x", 0) == 0; }'
+        )
+        assert proc.exit_code == 1
+
+
+class TestPollSemantics:
+    def test_poll_returns_ready_index(self):
+        source = r"""
+extern func socket; extern func bind; extern func listen;
+extern func accept; extern func poll; extern func println;
+extern func recv; extern func send;
+var fds[16];
+func main() {
+    var a = socket(); bind(a, 5001); listen(a, 1);
+    var b = socket(); bind(b, 5002); listen(b, 1);
+    println("up");
+    store64(fds, a);
+    store64(fds + 8, b);
+    var idx = poll(fds, 2);       // which listener got the connection?
+    var conn = accept(load64(fds + 8 * idx));
+    var buf[8];
+    recv(conn, buf, 7);
+    send(conn, "!", 1);
+    return idx;
+}
+"""
+        image = build_minic(source, "poller")
+        kernel = Kernel()
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("poller")
+        kernel.run_until(lambda: "up" in proc.stdout_text())
+        sock = kernel.connect(5002)          # connect to the SECOND listener
+        sock.send(b"hello")
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 1           # index 1 == the 5002 listener
+
+    def test_poll_wakes_on_peer_close(self):
+        source = r"""
+extern func socket; extern func bind; extern func listen;
+extern func accept; extern func poll; extern func recv;
+extern func println;
+var fds[8];
+func main() {
+    var s = socket(); bind(s, 5003); listen(s, 1);
+    println("up");
+    var c = accept(s);
+    store64(fds, c);
+    poll(fds, 1);                 // must wake on EOF, not only on data
+    var buf[4];
+    var n = recv(c, buf, 4);
+    if (n == 0) { return 33; }    // clean EOF observed
+    return 1;
+}
+"""
+        image = build_minic(source, "eofpoll")
+        kernel = Kernel()
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("eofpoll")
+        kernel.run_until(lambda: "up" in proc.stdout_text())
+        sock = kernel.connect(5003)
+        kernel.run(max_instructions=100_000)   # let accept complete
+        sock.close()
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 33

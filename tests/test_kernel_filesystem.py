@@ -1,0 +1,111 @@
+"""Unit tests for the in-memory filesystem and file handles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import (
+    FileHandle,
+    InMemoryFS,
+    O_APPEND,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+)
+from repro.kernel.filesystem import FileSystemError
+
+
+@pytest.fixture()
+def fs():
+    filesystem = InMemoryFS()
+    filesystem.write_file("/etc/conf", "key value\n")
+    return filesystem
+
+
+class TestHostApi:
+    def test_write_read_roundtrip(self, fs):
+        fs.write_file("/a/b", b"\x00\x01binary")
+        assert fs.read_file("/a/b") == b"\x00\x01binary"
+
+    def test_string_payloads_utf8(self, fs):
+        fs.write_file("/s", "héllo")
+        assert fs.read_file("/s") == "héllo".encode("utf-8")
+
+    def test_path_normalization(self, fs):
+        fs.write_file("var//www///x", "y")
+        assert fs.exists("/var/www/x")
+        assert fs.read_file("/var/www/x") == b"y"
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(FileSystemError):
+            fs.read_file("/missing")
+
+    def test_unlink(self, fs):
+        assert fs.unlink("/etc/conf")
+        assert not fs.exists("/etc/conf")
+        assert not fs.unlink("/etc/conf")
+
+    def test_listdir_prefix(self, fs):
+        fs.write_file("/www/a.html", "a")
+        fs.write_file("/www/b.html", "b")
+        fs.write_file("/other/c", "c")
+        assert fs.listdir("/www") == ["/www/a.html", "/www/b.html"]
+
+
+class TestOpenSemantics:
+    def test_rdonly_missing_returns_none(self, fs):
+        assert fs.open("/nope", O_RDONLY) is None
+
+    def test_creat_makes_file(self, fs):
+        handle = fs.open("/new", O_WRONLY | O_CREAT)
+        assert isinstance(handle, FileHandle)
+        assert fs.exists("/new")
+
+    def test_trunc_clears_content(self, fs):
+        fs.open("/etc/conf", O_WRONLY | O_TRUNC)
+        assert fs.read_file("/etc/conf") == b""
+
+    def test_trunc_without_write_mode_keeps_content(self, fs):
+        fs.open("/etc/conf", O_RDONLY | O_TRUNC)
+        assert fs.read_file("/etc/conf") == b"key value\n"
+
+    def test_append_positions_at_end(self, fs):
+        handle = fs.open("/etc/conf", O_WRONLY | O_APPEND)
+        handle.write(b"more")
+        assert fs.read_file("/etc/conf") == b"key value\nmore"
+
+
+class TestFileHandle:
+    def test_sequential_reads_advance_offset(self, fs):
+        handle = fs.open("/etc/conf", O_RDONLY)
+        assert handle.read(3) == b"key"
+        assert handle.read(100) == b" value\n"
+        assert handle.read(10) == b""
+
+    def test_write_on_readonly_refused(self, fs):
+        handle = fs.open("/etc/conf", O_RDONLY)
+        assert handle.write(b"x") is None
+
+    def test_read_on_writeonly_refused(self, fs):
+        handle = fs.open("/etc/conf", O_WRONLY)
+        assert handle.read(4) is None
+
+    def test_rdwr_interleaved(self, fs):
+        handle = fs.open("/etc/conf", O_RDWR)
+        handle.write(b"KEY")
+        handle.offset = 0
+        assert handle.read(9) == b"KEY value"
+
+    def test_sparse_write_zero_fills(self, fs):
+        handle = fs.open("/sparse", O_WRONLY | O_CREAT)
+        handle.offset = 4
+        handle.write(b"x")
+        assert fs.read_file("/sparse") == b"\x00\x00\x00\x00x"
+
+    def test_write_after_unlink_fails_gracefully(self, fs):
+        handle = fs.open("/etc/conf", O_WRONLY)
+        fs.unlink("/etc/conf")
+        assert handle.write(b"x") is None
+        assert handle.read(1) is None

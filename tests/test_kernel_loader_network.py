@@ -1,0 +1,170 @@
+"""Loader (dynamic linking) and network-stack unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import libc_image
+from repro.binfmt import link_executable, link_shared
+from repro.kernel import (
+    Kernel,
+    LoaderError,
+    NetworkError,
+    NetworkStack,
+    SocketDescriptor,
+)
+from repro.minic import compile_source
+
+from .helpers import build_minic, run_image
+
+
+class TestLoader:
+    def test_missing_binary_rejected(self):
+        kernel = Kernel()
+        with pytest.raises(LoaderError):
+            kernel.spawn("ghost")
+
+    def test_missing_library_rejected(self):
+        kernel = Kernel()
+        image = build_minic(
+            "extern func strlen;\nfunc main() { return strlen(\"ab\"); }",
+            "needs_libc",
+        )
+        kernel.register_binary(image)  # libc.so NOT registered
+        with pytest.raises(LoaderError):
+            kernel.spawn("needs_libc")
+
+    def test_got_points_at_libc_function(self):
+        image = build_minic(
+            'extern func strlen;\nfunc main() { return strlen("abcd"); }',
+            "gottest",
+        )
+        kernel, proc = run_image(image)
+        assert proc.exit_code == 4
+        got_slot = image.got_entries["strlen"]
+        resolved = int.from_bytes(proc.memory.read_raw(got_slot, 8), "little")
+        libc_module = next(m for m in proc.modules if m.name == "libc.so")
+        expected = libc_module.load_base + libc_image().symbol_address("strlen")
+        assert resolved == expected
+
+    def test_libraries_mapped_at_distinct_bases(self):
+        # two-level dependency: app -> libmid.so -> libc.so
+        mid = link_shared(
+            [compile_source(
+                "extern func strlen;\nfunc midlen(s) { return strlen(s) * 2; }",
+                "mid.o", entry=False,
+            )],
+            "libmid.so",
+            libraries=[libc_image()],
+        )
+        app_module = compile_source(
+            'extern func midlen;\nfunc main() { return midlen("xyz"); }',
+            "app.o",
+        )
+        app = link_executable([app_module], "app", libraries=[mid])
+        kernel = Kernel()
+        kernel.register_binary(libc_image())
+        kernel.register_binary(mid)
+        kernel.register_binary(app)
+        proc = kernel.spawn("app")
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 6
+        bases = {m.name: m.load_base for m in proc.modules}
+        assert len(set(bases.values())) == 3
+
+    def test_module_map_covers_loaded_images(self):
+        image = build_minic(
+            "extern func strlen;\nfunc main() { return strlen(\"x\"); }",
+            "maps",
+        )
+        kernel, proc = run_image(image)
+        assert proc.module_for(image.entry).name == "maps"
+        libc_module = next(m for m in proc.modules if m.name == "libc.so")
+        start, end = libc_module.text_bounds()
+        assert proc.module_for(start).name == "libc.so"
+
+    def test_stack_is_writable_not_executable(self):
+        image = build_minic("func main() { return 0; }", "stk", with_libc=False)
+        kernel, proc = run_image(image)
+        stack = next(v for v in proc.memory.vmas if v.tag == "stack")
+        assert stack.writable and not stack.executable
+
+
+class TestNetworkStack:
+    def test_connect_refused_without_listener(self):
+        net = NetworkStack()
+        with pytest.raises(NetworkError):
+            net.connect(1234)
+
+    def test_listen_backlog_and_accept(self):
+        net = NetworkStack()
+        sock = SocketDescriptor()
+        assert net.bind(sock, 80)
+        assert net.listen(sock)
+        client = net.connect(80)
+        server = net.accept(sock)
+        assert server is not None
+        assert client.peer is server
+
+    def test_data_flow_both_directions(self):
+        net = NetworkStack()
+        sock = SocketDescriptor()
+        net.bind(sock, 80)
+        net.listen(sock)
+        client = net.connect(80)
+        server = net.accept(sock)
+        client.send(b"ping")
+        assert server.recv(10) == b"ping"
+        server.send(b"pong")
+        assert client.recv(10) == b"pong"
+
+    def test_send_to_closed_peer_fails(self):
+        net = NetworkStack()
+        sock = SocketDescriptor()
+        net.bind(sock, 80)
+        net.listen(sock)
+        client = net.connect(80)
+        server = net.accept(sock)
+        server.close()
+        assert client.send(b"x") == -1
+
+    def test_repair_reinstates_buffer_then_new_bytes(self):
+        net = NetworkStack()
+        sock = SocketDescriptor()
+        net.bind(sock, 80)
+        net.listen(sock)
+        client = net.connect(80)
+        server = net.accept(sock)
+        client.send(b"OLD")           # arrives pre-checkpoint
+        checkpointed = bytes(server.recv_buffer)
+        server.recv_buffer.clear()    # dumped into the image
+        client.send(b"NEW")           # arrives while frozen
+        repaired = net.repair_endpoint(server.conn_id, "b", checkpointed)
+        assert bytes(repaired.recv_buffer) == b"OLDNEW"
+
+    def test_repair_gone_connection_raises(self):
+        net = NetworkStack()
+        with pytest.raises(NetworkError):
+            net.repair_endpoint(999, "a", b"")
+
+    def test_gc_drops_fully_closed(self):
+        net = NetworkStack()
+        sock = SocketDescriptor()
+        net.bind(sock, 80)
+        net.listen(sock)
+        client = net.connect(80)
+        server = net.accept(sock)
+        client.close()
+        server.close()
+        net.gc()
+        assert client.conn_id not in net.connections
+
+    def test_rebind_listener_restores_backlog(self):
+        net = NetworkStack()
+        sock = SocketDescriptor()
+        net.bind(sock, 80)
+        net.listen(sock)
+        pending = net.connect(80)      # never accepted
+        net.release_port(80)
+        listener = net.rebind_listener(80, [pending.conn_id])
+        assert listener.has_pending

@@ -1,0 +1,171 @@
+"""Tests for address spaces, VMAs, and permission enforcement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernel import AddressSpace, FileBacking, MemoryFault, PAGE_SIZE
+
+BASE = 0x400000
+
+
+@pytest.fixture()
+def space():
+    memory = AddressSpace()
+    memory.mmap(BASE, 4 * PAGE_SIZE, "rw-", tag="data")
+    return memory
+
+
+class TestMapping:
+    def test_mmap_rounds_to_pages(self, space):
+        vma = space.mmap(BASE + 0x10000, 100, "r--")
+        assert vma.size == PAGE_SIZE
+
+    def test_overlap_rejected(self, space):
+        with pytest.raises(MemoryFault):
+            space.mmap(BASE + PAGE_SIZE, PAGE_SIZE, "rw-")
+
+    def test_unaligned_rejected(self):
+        memory = AddressSpace()
+        with pytest.raises(ValueError):
+            memory.mmap(0x401001, PAGE_SIZE, "rw-")
+
+    def test_munmap_full(self, space):
+        space.munmap(BASE, 4 * PAGE_SIZE)
+        assert space.find_vma(BASE) is None
+        with pytest.raises(MemoryFault):
+            space.read(BASE, 1)
+
+    def test_munmap_splits_vma(self, space):
+        space.munmap(BASE + PAGE_SIZE, PAGE_SIZE)
+        assert space.find_vma(BASE) is not None
+        assert space.find_vma(BASE + PAGE_SIZE) is None
+        assert space.find_vma(BASE + 2 * PAGE_SIZE) is not None
+        # the split tail keeps correct backing offsets
+        lo = space.find_vma(BASE)
+        hi = space.find_vma(BASE + 2 * PAGE_SIZE)
+        assert lo.end == BASE + PAGE_SIZE
+        assert hi.start == BASE + 2 * PAGE_SIZE
+
+    def test_munmap_preserves_file_offset_of_tail(self):
+        memory = AddressSpace()
+        memory.mmap(
+            BASE, 3 * PAGE_SIZE, "r-x",
+            backing=FileBacking("bin", 0x1000),
+        )
+        memory.munmap(BASE, PAGE_SIZE)
+        tail = memory.find_vma(BASE + PAGE_SIZE)
+        assert tail.backing.offset == 0x1000 + PAGE_SIZE
+
+    def test_find_free_range_avoids_existing(self, space):
+        addr = space.find_free_range(PAGE_SIZE, hint=BASE)
+        assert space.find_vma(addr) is None
+        assert addr >= BASE + 4 * PAGE_SIZE
+
+
+class TestAccess:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 4 * PAGE_SIZE - 64), st.binary(min_size=1, max_size=64))
+    def test_write_read_roundtrip(self, offset, data):
+        memory = AddressSpace()
+        memory.mmap(BASE, 4 * PAGE_SIZE, "rw-")
+        memory.write(BASE + offset, data)
+        assert memory.read(BASE + offset, len(data)) == data
+
+    def test_cross_page_write(self, space):
+        data = bytes(range(100))
+        addr = BASE + PAGE_SIZE - 50
+        space.write(addr, data)
+        assert space.read(addr, 100) == data
+
+    def test_read_requires_r(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "-w-")
+        with pytest.raises(MemoryFault):
+            memory.read(BASE, 1)
+
+    def test_write_requires_w(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "r--")
+        with pytest.raises(MemoryFault):
+            memory.write(BASE, b"x")
+
+    def test_fetch_requires_x(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "rw-")
+        with pytest.raises(MemoryFault) as excinfo:
+            memory.fetch(BASE, 1)
+        assert excinfo.value.access == "exec"
+
+    def test_fetch_from_exec_region(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "r-x")
+        memory.write_raw(BASE, b"\x90")
+        assert memory.fetch(BASE, 1) == b"\x90"
+
+    def test_unmapped_access_faults_with_address(self, space):
+        with pytest.raises(MemoryFault) as excinfo:
+            space.read(0xDEAD000, 4)
+        assert excinfo.value.address == 0xDEAD000
+
+    def test_read_cstring(self, space):
+        space.write(BASE, b"hello\x00world")
+        assert space.read_cstring(BASE) == b"hello"
+
+    def test_read_cstring_unterminated(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "rw-")
+        memory.write_raw(BASE, b"\x01" * PAGE_SIZE)
+        with pytest.raises(MemoryFault):
+            memory.read_cstring(BASE, limit=PAGE_SIZE // 2)
+
+    def test_raw_access_ignores_permissions(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "---")
+        memory.write_raw(BASE, b"k")
+        assert memory.read_raw(BASE, 1) == b"k"
+
+
+class TestCodeEpoch:
+    def test_write_to_exec_bumps_epoch(self):
+        memory = AddressSpace()
+        memory.mmap(BASE, PAGE_SIZE, "r-x")
+        before = memory.code_epoch
+        memory.write_raw(BASE, b"\xcc")
+        assert memory.code_epoch > before
+
+    def test_write_to_data_keeps_epoch(self, space):
+        before = space.code_epoch
+        space.write(BASE, b"x")
+        assert space.code_epoch == before
+
+    def test_mprotect_bumps_epoch(self, space):
+        before = space.code_epoch
+        space.mprotect(BASE, PAGE_SIZE, "r-x")
+        assert space.code_epoch > before
+
+    def test_mprotect_changes_perms_mid_region(self, space):
+        space.mprotect(BASE + PAGE_SIZE, PAGE_SIZE, "r--")
+        assert space.find_vma(BASE).perms == "rw-"
+        assert space.find_vma(BASE + PAGE_SIZE).perms == "r--"
+        assert space.find_vma(BASE + 2 * PAGE_SIZE).perms == "rw-"
+
+
+class TestClone:
+    def test_clone_is_deep(self, space):
+        space.write(BASE, b"orig")
+        child = space.clone()
+        child.write(BASE, b"chng")
+        assert space.read(BASE, 4) == b"orig"
+        assert child.read(BASE, 4) == b"chng"
+
+    def test_clone_copies_vmas(self, space):
+        child = space.clone()
+        child.munmap(BASE, PAGE_SIZE)
+        assert space.find_vma(BASE) is not None
+
+    def test_describe_maps(self, space):
+        listing = space.describe_maps()
+        assert f"{BASE:#014x}" in listing
+        assert "rw-" in listing

@@ -1,0 +1,128 @@
+"""Scheduler semantics: quantum batching, determinism, host sockets."""
+
+from __future__ import annotations
+
+from repro.apps import libc_image
+from repro.kernel import Kernel, ProcessState
+
+from .helpers import build_minic
+
+_PROGRAM = (
+    "extern func print_num;\n"
+    "func main() { var acc = 0; var i = 0; while (i < 300) "
+    "{ acc = (acc * 7 + i) % 1000; i = i + 1; } print_num(acc); return acc % 97; }"
+)
+
+
+def _spawn(kernel: Kernel, image):
+    if "libc.so" in image.needed:
+        kernel.register_binary(libc_image())
+    kernel.register_binary(image)
+    return kernel.spawn(image.name)
+
+
+class TestQuantumParity:
+    def test_single_step_and_quantum_agree(self):
+        image = build_minic(_PROGRAM, "parity")
+
+        # reference: pure single-stepping
+        kernel_a = Kernel()
+        proc_a = _spawn(kernel_a, image)
+        while proc_a.alive:
+            kernel_a.cpu.step(proc_a)
+        # quantum batching through the scheduler
+        kernel_b = Kernel()
+        proc_b = _spawn(kernel_b, image)
+        kernel_b.run_until(lambda: not proc_b.alive)
+
+        assert proc_a.exit_code == proc_b.exit_code
+        assert proc_a.stdout_text() == proc_b.stdout_text()
+        assert proc_a.instructions_retired == proc_b.instructions_retired
+
+    def test_runs_are_deterministic(self):
+        image = build_minic(_PROGRAM, "det")
+        outcomes = []
+        for __ in range(2):
+            kernel = Kernel()
+            proc = _spawn(kernel, image)
+            kernel.run_until(lambda: not proc.alive)
+            outcomes.append(
+                (proc.exit_code, proc.instructions_retired, kernel.clock_ns)
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_clock_advances_per_instruction(self):
+        image = build_minic("func main() { return 0; }", "clocked",
+                            with_libc=False)
+        kernel = Kernel()
+        proc = _spawn(kernel, image)
+        kernel.run_until(lambda: not proc.alive)
+        expected_min = proc.instructions_retired * kernel.config.instruction_cost_ns
+        assert kernel.clock_ns >= expected_min
+
+
+class TestQuiescence:
+    def test_quiescent_when_all_exit(self):
+        image = build_minic("func main() { return 0; }", "quiet",
+                            with_libc=False)
+        kernel = Kernel()
+        _spawn(kernel, image)
+        assert kernel.run_until_quiescent()
+        assert not kernel.runnable_processes()
+
+    def test_quiescent_when_blocked_on_io(self):
+        image = build_minic(
+            "extern func socket; extern func bind; extern func listen; "
+            "extern func accept;\n"
+            "func main() { var s = socket(); bind(s, 4001); listen(s, 1); "
+            "accept(s); return 0; }",
+            "blocker",
+        )
+        kernel = Kernel()
+        proc = _spawn(kernel, image)
+        assert kernel.run_until_quiescent()
+        assert proc.state is ProcessState.BLOCKED
+
+    def test_spinner_exhausts_budget(self):
+        image = build_minic("func main() { while (1) { } return 0; }",
+                            "spinner", with_libc=False)
+        kernel = Kernel()
+        _spawn(kernel, image)
+        assert not kernel.run_until_quiescent(max_instructions=2_000)
+
+
+class TestHostSocketEdges:
+    def test_recv_until_returns_partial_on_eof(self):
+        source = (
+            "extern func socket; extern func bind; extern func listen;\n"
+            "extern func accept; extern func send; extern func close;\n"
+            "extern func println;\n"
+            "func main() { var s = socket(); bind(s, 4002); listen(s, 1); "
+            'println("up"); var c = accept(s); send(c, "nodelim", 7); '
+            "close(c); return 0; }"
+        )
+        image = build_minic(source, "eofer")
+        kernel = Kernel()
+        proc = _spawn(kernel, image)
+        kernel.run_until(lambda: "up" in proc.stdout_text())
+        sock = kernel.connect(4002)
+        data = sock.recv_until(b"\n", max_instructions=500_000)
+        assert data == b"nodelim"
+
+    def test_send_to_dead_server_raises(self):
+        image = build_minic(
+            "extern func socket; extern func bind; extern func listen;\n"
+            "extern func accept; extern func close; extern func println;\n"
+            'func main() { var s = socket(); bind(s, 4003); listen(s, 1); '
+            'println("up"); var c = accept(s); close(c); return 0; }',
+            "closer",
+        )
+        kernel = Kernel()
+        proc = _spawn(kernel, image)
+        kernel.run_until(lambda: "up" in proc.stdout_text())
+        sock = kernel.connect(4003)
+        kernel.run_until(lambda: not proc.alive)
+        import pytest
+
+        with pytest.raises(ConnectionError):
+            sock.send(b"hello?")

@@ -1,0 +1,155 @@
+"""Signal semantics tests: delivery, sigframes, sigreturn, int3 traps.
+
+These run real guest programs because signal behaviour is exactly what
+DynaCut's trap policies build on.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import Signal
+
+from .helpers import run_minic, run_image, build_minic
+
+
+class TestDefaultDispositions:
+    def test_sigsegv_kills_by_default(self):
+        __, proc = run_minic("func main() { return load8(0x10); }")
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGSEGV
+
+    def test_sigill_on_wiped_code(self):
+        # jump into a data region via a function pointer
+        __, proc = run_minic(
+            "var blob[16];\nvar fp;\n"
+            "func main() { fp = blob; var f = fp; return f(); }"
+        )
+        assert proc.term_signal in (Signal.SIGSEGV,)  # data is not executable
+
+    def test_int3_kills_without_handler(self):
+        __, proc = run_minic('func main() { asm("int3"); return 0; }')
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGTRAP
+
+    def test_sigfpe_on_division_by_zero(self):
+        __, proc = run_minic("func main() { var z = 0; return 7 / z; }")
+        assert proc.term_signal is Signal.SIGFPE
+
+
+_HANDLER_PROG = r"""
+extern func sigaction;
+extern func print;
+extern func println;
+extern func exit;
+
+var trapped = 0;
+
+func on_trap(sig, frame, fault) {
+    trapped = trapped + 1;
+    println("trap!");
+    // saved rip already points past the int3: execution just continues
+    return 0;
+}
+
+func main() {
+    sigaction(5, on_trap);       // SIGTRAP
+    asm("int3");
+    println("survived");
+    if (trapped == 1) { return 42; }
+    return 1;
+}
+"""
+
+
+class TestHandlers:
+    def test_sigtrap_handler_continues_execution(self):
+        __, proc = run_minic(_HANDLER_PROG)
+        assert proc.exit_code == 42
+        assert "trap!" in proc.stdout_text()
+        assert "survived" in proc.stdout_text()
+
+    def test_handler_receives_fault_address(self):
+        source = r"""
+extern func sigaction;
+extern func print_num;
+var addr = 0;
+func on_trap(sig, frame, fault) { addr = fault; return 0; }
+func main() {
+    sigaction(5, on_trap);
+    asm("int3");
+    print_num(addr);
+    if (addr > 0x400000) { return 1; }
+    return 0;
+}
+"""
+        __, proc = run_minic(source)
+        assert proc.exit_code == 1
+
+    def test_handler_can_rewrite_saved_rip(self):
+        # handler bumps saved rip by the size of a movi (10 bytes),
+        # skipping the instruction after the trap
+        source = r"""
+extern func sigaction;
+func on_trap(sig, frame, fault) {
+    store64(frame, load64(frame) + 10);
+    return 0;
+}
+func main() {
+    sigaction(5, on_trap);
+    var r = 1;
+    asm("int3");
+    asm("movi r0, 9");
+    asm("st64 [fp-8], r0");   // skipped? no - only the movi is skipped
+    return r;
+}
+"""
+        __, proc = run_minic(source)
+        # the movi r0,9 was skipped, so the st64 stores the *old* r0;
+        # either way the program must exit cleanly
+        assert proc.term_signal is None
+        assert not proc.alive
+
+    def test_nested_signal_while_in_handler_is_queued(self):
+        source = r"""
+extern func sigaction;
+var count = 0;
+func on_trap(sig, frame, fault) {
+    count = count + 1;
+    return 0;
+}
+func main() {
+    sigaction(5, on_trap);
+    asm("int3");
+    asm("int3");
+    return count;
+}
+"""
+        __, proc = run_minic(source)
+        assert proc.exit_code == 2
+
+    def test_kill_delivers_sigterm(self):
+        source = "func main() { while (1) { } return 0; }"
+        image = build_minic(source, "spinner")
+        kernel, proc = run_image(image, max_instructions=2_000)
+        assert proc.alive
+        kernel.kill_process(proc.pid, Signal.SIGTERM)
+        kernel.run(max_instructions=1_000)
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGTERM
+
+    def test_sigkill_cannot_be_caught(self):
+        source = r"""
+extern func sigaction;
+func on_sig(sig, frame, fault) { return 0; }
+func main() {
+    sigaction(9, on_sig);   // should be refused
+    while (1) { }
+    return 0;
+}
+"""
+        image = build_minic(source, "unkillable")
+        kernel, proc = run_image(image, max_instructions=5_000)
+        assert proc.alive
+        kernel.kill_process(proc.pid, Signal.SIGKILL)
+        kernel.run(max_instructions=1_000)
+        assert not proc.alive
+        assert proc.term_signal is Signal.SIGKILL

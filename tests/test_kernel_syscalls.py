@@ -1,0 +1,326 @@
+"""Syscall-layer tests: files, sockets, processes, memory, time."""
+
+from __future__ import annotations
+
+from repro.kernel import Kernel, ProcessState, Signal
+
+from .helpers import build_minic, run_image, run_minic
+
+
+class TestFiles:
+    def test_open_read(self):
+        image = build_minic(
+            r"""
+extern func open; extern func read; extern func close; extern func print;
+func main() {
+    var fd = open("/data/in.txt", 0);
+    if (fd < 0) { return 1; }
+    var buf[64];
+    var n = read(fd, buf, 63);
+    close(fd);
+    store8(buf + n, 0);
+    print(buf);
+    return 0;
+}
+""",
+            "reader",
+        )
+        kernel = Kernel()
+        kernel.fs.write_file("/data/in.txt", "file-content")
+        __, proc = run_image(image, kernel=kernel)
+        assert proc.exit_code == 0
+        assert proc.stdout_text() == "file-content"
+
+    def test_open_missing_returns_enoent(self):
+        __, proc = run_minic(
+            'extern func open;\nfunc main() { return open("/nope", 0) < 0; }'
+        )
+        assert proc.exit_code == 1
+
+    def test_create_write_unlink(self):
+        kernel, proc = run_minic(
+            r"""
+extern func open; extern func write; extern func close; extern func unlink;
+func main() {
+    var fd = open("/tmp/out", 0x241);
+    write(fd, "xyz", 3);
+    close(fd);
+    return 0;
+}
+"""
+        )
+        assert kernel.fs.read_file("/tmp/out") == b"xyz"
+
+    def test_write_to_stdout(self):
+        __, proc = run_minic(
+            "func main() { syscall(2, 1, \"out!\", 4); return 0; }"
+        )
+        assert proc.stdout_text() == "out!"
+
+    def test_bad_fd_errors(self):
+        __, proc = run_minic(
+            "func main() { return syscall(5, 99) < 0; }"  # close(99)
+        )
+        assert proc.exit_code == 1
+
+
+class TestProcesses:
+    def test_fork_returns_zero_in_child(self):
+        source = r"""
+extern func fork; extern func println; extern func waitpid;
+func main() {
+    var pid = fork();
+    if (pid == 0) { println("child"); return 7; }
+    var dead = waitpid(pid);
+    println("parent");
+    if (dead == pid) { return 3; }
+    return 1;
+}
+"""
+        kernel, proc = run_minic(source)
+        assert proc.exit_code == 3
+        child_out = [
+            p.stdout_text() for p in kernel.processes.values() if p.pid != proc.pid
+        ]
+        assert any("child" in out for out in child_out)
+
+    def test_fork_memory_is_copied(self):
+        source = r"""
+extern func fork; extern func waitpid;
+var shared = 1;
+func main() {
+    var pid = fork();
+    if (pid == 0) { shared = 99; return 0; }
+    waitpid(pid);
+    return shared;     // parent's copy unchanged
+}
+"""
+        __, proc = run_minic(source)
+        assert proc.exit_code == 1
+
+    def test_getpid_getppid(self):
+        source = r"""
+extern func fork; extern func getpid; extern func getppid; extern func waitpid;
+func main() {
+    var me = getpid();
+    var pid = fork();
+    if (pid == 0) {
+        if (getppid() == me) { return 5; }
+        return 1;
+    }
+    waitpid(pid);
+    return 0;
+}
+"""
+        kernel, proc = run_minic(source)
+        children = [p for p in kernel.processes.values() if p.ppid == proc.pid]
+        assert children and children[0].exit_code == 5
+
+    def test_waitpid_without_children_errors(self):
+        __, proc = run_minic(
+            "extern func waitpid;\nfunc main() { return waitpid(0) < 0; }"
+        )
+        assert proc.exit_code == 1
+
+    def test_execve_is_refused_and_logged(self):
+        kernel, proc = run_minic(
+            'extern func execve;\nfunc main() { return execve("/bin/sh") < 0; }'
+        )
+        assert proc.exit_code == 1
+        assert any(e.kind == "execve" for e in kernel.security_log)
+
+    def test_nanosleep_advances_clock(self):
+        kernel, proc = run_minic(
+            "extern func sleep_ms;\nfunc main() { sleep_ms(50); return 0; }"
+        )
+        assert not proc.alive
+        assert kernel.clock_ns >= 50_000_000
+
+
+class TestSocketsEndToEnd:
+    def test_echo_server(self):
+        source = r"""
+extern func socket; extern func bind; extern func listen;
+extern func accept; extern func send; extern func recv; extern func println;
+func main() {
+    var s = socket();
+    bind(s, 7777);
+    listen(s, 4);
+    println("ready");
+    var c = accept(s);
+    var buf[64];
+    var n = recv(c, buf, 63);
+    send(c, buf, n);
+    return 0;
+}
+"""
+        image = build_minic(source, "echo")
+        kernel = Kernel()
+        kernel.register_binary(image)
+        from repro.apps import libc_image
+
+        kernel.register_binary(libc_image())
+        proc = kernel.spawn("echo")
+        kernel.run_until(lambda: "ready" in proc.stdout_text())
+        sock = kernel.connect(7777)
+        assert sock.request(b"ping-pong\n") == b"ping-pong\n"
+
+    def test_bind_conflict(self):
+        source = r"""
+extern func socket; extern func bind; extern func listen;
+func main() {
+    var a = socket();
+    bind(a, 9999);
+    listen(a, 1);
+    var b = socket();
+    return bind(b, 9999) < 0;
+}
+"""
+        __, proc = run_minic(source)
+        assert proc.exit_code == 1
+
+    def test_recv_sees_eof_after_close(self):
+        source = r"""
+extern func socket; extern func bind; extern func listen;
+extern func accept; extern func recv; extern func println;
+func main() {
+    var s = socket();
+    bind(s, 7001);
+    listen(s, 1);
+    println("ready");
+    var c = accept(s);
+    var buf[16];
+    var n = recv(c, buf, 15);       // gets data
+    var m = recv(c, buf, 15);       // gets EOF (0)
+    if (n == 2 && m == 0) { return 11; }
+    return 1;
+}
+"""
+        image = build_minic(source, "eof")
+        kernel = Kernel()
+        from repro.apps import libc_image
+
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("eof")
+        kernel.run_until(lambda: "ready" in proc.stdout_text())
+        sock = kernel.connect(7001)
+        sock.send(b"ab")
+        kernel.run(max_instructions=50_000)
+        sock.close()
+        kernel.run_until(lambda: not proc.alive)
+        assert proc.exit_code == 11
+
+
+class TestMemorySyscalls:
+    def test_mmap_munmap(self):
+        __, proc = run_minic(
+            r"""
+extern func mmap; extern func munmap;
+func main() {
+    var p = mmap(0, 8192, 3);
+    if (p == 0) { return 1; }
+    store64(p + 4096, 77);
+    var v = load64(p + 4096);
+    munmap(p, 8192);
+    return v;
+}
+"""
+        )
+        assert proc.exit_code == 77
+
+    def test_access_after_munmap_faults(self):
+        __, proc = run_minic(
+            r"""
+extern func mmap; extern func munmap;
+func main() {
+    var p = mmap(0, 4096, 3);
+    munmap(p, 4096);
+    return load64(p);
+}
+"""
+        )
+        assert proc.term_signal is Signal.SIGSEGV
+
+    def test_mprotect_write_protection(self):
+        __, proc = run_minic(
+            r"""
+extern func mmap; extern func mprotect;
+func main() {
+    var p = mmap(0, 4096, 3);
+    store8(p, 1);
+    mprotect(p, 4096, 1);    // read-only
+    store8(p, 2);            // faults
+    return 0;
+}
+"""
+        )
+        assert proc.term_signal is Signal.SIGSEGV
+
+    def test_malloc_grows_heap(self):
+        __, proc = run_minic(
+            r"""
+extern func malloc;
+func main() {
+    var total = 0;
+    var i = 0;
+    while (i < 8) {
+        var p = malloc(100000);
+        if (p == 0) { return 1; }
+        store8(p, i);
+        total = total + load8(p);
+        i = i + 1;
+    }
+    return total;
+}
+"""
+        )
+        assert proc.exit_code == sum(range(8))
+
+
+class TestScheduling:
+    def test_two_processes_interleave(self):
+        image = build_minic(
+            "extern func print_num;\n"
+            "func main(argc, argv) { var i = 0; while (i < 3) "
+            "{ print_num(i); i = i + 1; } return 0; }",
+            "counter",
+        )
+        kernel = Kernel()
+        from repro.apps import libc_image
+
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        a = kernel.spawn("counter")
+        b = kernel.spawn("counter")
+        kernel.run_until(lambda: not a.alive and not b.alive)
+        assert a.stdout_text() == b.stdout_text() == "012"
+
+    def test_clock_deadline_fast_forward(self):
+        kernel, proc = run_minic(
+            "extern func sleep_ms;\nextern func clock_ms;\n"
+            "func main() { var t0 = clock_ms(); sleep_ms(1000); "
+            "return clock_ms() - t0 >= 1000; }"
+        )
+        assert proc.exit_code == 1
+
+    def test_frozen_process_does_not_run(self):
+        image = build_minic(
+            "func main() { var i = 0; while (1) { i = i + 1; } return 0; }",
+            "spin",
+        )
+        kernel = Kernel()
+        from repro.apps import libc_image
+
+        kernel.register_binary(libc_image())
+        kernel.register_binary(image)
+        proc = kernel.spawn("spin")
+        kernel.run(max_instructions=1_000)
+        kernel.freeze(proc.pid)
+        before = proc.instructions_retired
+        kernel.run(max_instructions=1_000)
+        assert proc.instructions_retired == before
+        kernel.thaw(proc.pid)
+        kernel.run(max_instructions=1_000)
+        assert proc.instructions_retired > before
+        assert proc.state is ProcessState.RUNNABLE

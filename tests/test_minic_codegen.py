@@ -1,0 +1,268 @@
+"""Semantics tests for the MiniC code generator.
+
+Each test compiles a program, runs it on the simulated kernel, and
+checks the exit code or stdout — i.e. these are compiler *correctness*
+tests, including hypothesis comparisons against Python's semantics.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic import CompileError, compile_source
+
+from .helpers import exit_code_of, run_minic, stdout_of
+
+_small = st.integers(-1000, 1000)
+
+
+class TestArithmetic:
+    @settings(max_examples=25, deadline=None)
+    @given(_small, _small)
+    def test_add_sub_mul(self, a, b):
+        code = exit_code_of(
+            f"func main() {{ var r = ({a}) + ({b}) * 2 - ({a}); "
+            "if (r == %d) { return 1; } return 0; }" % (a + b * 2 - a)
+        )
+        assert code == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(_small, st.integers(1, 50))
+    def test_div_mod_match_c_semantics(self, a, b):
+        quotient = int(a / b)          # C truncates toward zero
+        remainder = a - quotient * b
+        code = exit_code_of(
+            f"func main() {{ if (({a}) / ({b}) == ({quotient}) && "
+            f"({a}) % ({b}) == ({remainder})) {{ return 1; }} return 0; }}"
+        )
+        assert code == 1
+
+    def test_division_by_zero_raises_sigfpe(self):
+        __, proc = run_minic("func main() { var z = 0; return 5 / z; }")
+        assert proc.term_signal is not None
+        assert int(proc.term_signal) == 8  # SIGFPE
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32), st.integers(0, 63))
+    def test_shifts(self, a, s):
+        expected = ((a << s) & ((1 << 64) - 1)) >> s >> 1
+        code = exit_code_of(
+            f"func main() {{ var v = ({a}) << ({s}); v = v >> ({s}); "
+            f"v = v >> 1; if (v == {expected}) {{ return 1; }} return 0; }}"
+        )
+        assert code == 1
+
+    def test_bitwise_ops(self):
+        assert exit_code_of(
+            "func main() { return (0xF0 & 0x3C) | (1 ^ 3); }"
+        ) == ((0xF0 & 0x3C) | (1 ^ 3)) & 0xFF
+
+    def test_unary_ops(self):
+        assert exit_code_of("func main() { return -(-5); }") == 5
+        assert exit_code_of("func main() { return !0 + !7; }") == 1
+        assert exit_code_of("func main() { return (~0) & 0xFF; }") == 255
+
+
+class TestComparisons:
+    @settings(max_examples=25, deadline=None)
+    @given(_small, _small)
+    def test_all_comparison_operators(self, a, b):
+        expected = (
+            (a == b) + (a != b) * 2 + (a < b) * 4 + (a <= b) * 8
+            + (a > b) * 16 + (a >= b) * 32
+        )
+        code = exit_code_of(
+            "func main() { return "
+            f"(({a}) == ({b})) + (({a}) != ({b})) * 2 + (({a}) < ({b})) * 4 "
+            f"+ (({a}) <= ({b})) * 8 + (({a}) > ({b})) * 16 "
+            f"+ (({a}) >= ({b})) * 32; }}"
+        )
+        assert code == expected
+
+    def test_short_circuit_and(self):
+        # the right side would divide by zero if evaluated
+        assert exit_code_of(
+            "func main() { var z = 0; if (0 && (1 / z)) { return 9; } return 1; }"
+        ) == 1
+
+    def test_short_circuit_or(self):
+        assert exit_code_of(
+            "func main() { var z = 0; if (1 || (1 / z)) { return 1; } return 9; }"
+        ) == 1
+
+
+class TestControlFlow:
+    def test_while_loop_sum(self):
+        assert exit_code_of(
+            "func main() { var s = 0; var i = 1; while (i <= 10) "
+            "{ s = s + i; i = i + 1; } return s; }"
+        ) == 55
+
+    def test_break_and_continue(self):
+        assert exit_code_of(
+            "func main() { var s = 0; var i = 0; while (i < 100) { i = i + 1; "
+            "if (i % 2 == 0) { continue; } if (i > 9) { break; } s = s + i; } "
+            "return s; }"
+        ) == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loops(self):
+        assert exit_code_of(
+            "func main() { var n = 0; var i = 0; while (i < 5) { var j = 0; "
+            "while (j < 5) { if (j == 3) { break; } n = n + 1; j = j + 1; } "
+            "i = i + 1; } return n; }"
+        ) == 15
+
+    def test_switch_dispatch(self):
+        source = (
+            "func pick(x) { switch (x) { case 1: return 10; case 2: return 20; "
+            "default: return 99; } return 0; }\n"
+            "func main() { return pick(1) + pick(2) + pick(7); }"
+        )
+        assert exit_code_of(source) == 129
+
+    def test_switch_no_fallthrough(self):
+        assert exit_code_of(
+            "func main() { var r = 0; switch (1) { case 1: r = 1; case 2: "
+            "r = r + 100; } return r; }"
+        ) == 1
+
+    def test_switch_break(self):
+        assert exit_code_of(
+            "func main() { switch (5) { case 5: break; default: return 9; } "
+            "return 3; }"
+        ) == 3
+
+    def test_implicit_return_zero(self):
+        assert exit_code_of("func main() { var x = 3; }") == 0
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert exit_code_of(
+            "func fact(n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n"
+            "func main() { return fact(5); }"
+        ) == 120
+
+    def test_six_arguments(self):
+        assert exit_code_of(
+            "func f(a, b, c, d, e, g) { return a + b * 2 + c * 3 + d * 4 "
+            "+ e * 5 + g * 6; }\nfunc main() { return f(1, 1, 1, 1, 1, 1); }"
+        ) == 21
+
+    def test_mutual_recursion(self):
+        assert exit_code_of(
+            "func is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }\n"
+            "func is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }\n"
+            "func main() { return is_even(10) * 2 + is_odd(7); }"
+        ) == 3
+
+    def test_function_pointer_call(self):
+        assert exit_code_of(
+            "func ten() { return 10; }\nfunc twenty() { return 20; }\n"
+            "var fp;\nfunc main() { fp = ten; var a = fp; var r = a(); "
+            "fp = twenty; a = fp; return r + a(); }"
+        ) == 30
+
+    def test_argument_evaluation_order(self):
+        # arguments are evaluated left to right
+        assert exit_code_of(
+            "var n = 0;\nfunc bump() { n = n + 1; return n; }\n"
+            "func pair(a, b) { return a * 10 + b; }\n"
+            "func main() { return pair(bump(), bump()); }"
+        ) == 12
+
+
+class TestMemoryAndData:
+    def test_local_array_bytes(self):
+        assert exit_code_of(
+            "func main() { var buf[16]; buf[0] = 65; buf[1] = buf[0] + 1; "
+            "return buf[1]; }"
+        ) == 66
+
+    def test_global_scalar_and_array(self):
+        assert exit_code_of(
+            "var g = 5;\nvar arr[8];\n"
+            "func main() { arr[3] = g + 2; g = arr[3]; return g; }"
+        ) == 7
+
+    def test_load_store_64(self):
+        assert exit_code_of(
+            "var slab[64];\nfunc main() { store64(slab + 8, 123456789); "
+            "return load64(slab + 8) == 123456789; }"
+        ) == 1
+
+    def test_index_through_pointer_param(self):
+        assert exit_code_of(
+            "var data[8];\nfunc second(p) { return p[1]; }\n"
+            "func main() { data[1] = 42; return second(data); }"
+        ) == 42
+
+    def test_string_literal_interning(self):
+        source = 'func main() { return load8("AB") + load8("AB" + 0); }'
+        assert exit_code_of(source) == 130
+
+    def test_global_string_initializer(self):
+        assert exit_code_of(
+            'var msg = "Q";\nfunc main() { return load8(msg); }'
+        ) == ord("Q")
+
+    def test_scalar_redeclaration_in_branches(self):
+        assert exit_code_of(
+            "func main() { if (1) { var t = 3; return t; } else { var t = 4; "
+            "return t; } }"
+        ) == 3
+
+
+class TestRuntimeIntegration:
+    def test_stdout_via_libc(self):
+        out = stdout_of(
+            'extern func println;\nfunc main() { println("hello"); return 0; }'
+        )
+        assert out == "hello\n"
+
+    def test_argv_passed_to_main(self):
+        __, proc = run_minic(
+            "extern func atoi;\n"
+            "func main(argc, argv) { if (argc < 2) { return 0; } "
+            "return atoi(load64(argv + 8)); }",
+            argv=["prog", "37"],
+        )
+        assert proc.exit_code == 37
+
+    def test_inline_asm(self):
+        assert exit_code_of(
+            'func main() { var r = 0; asm("movi r0, 5"); '
+            "asm(\"st64 [fp-8], r0\"); return r; }"
+        ) == 5
+
+    def test_exit_code_truncated_to_byte(self):
+        assert exit_code_of("func main() { return 256 + 7; }") == 7
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "func main() { return nothere; }",
+            "func main() { nothere = 1; return 0; }",
+            "func main() { var a[4]; a = 3; return 0; }",
+            "func main() { break; }",
+            "func main() { continue; }",
+            "func f() { return 0; }\nfunc main() { return f(1,2,3,4,5,6,7); }",
+            "func main() { return load8(); }",
+            "func main() { return syscall(); }",
+            "var x = 1;\nvar x = 2;\nfunc main() { return 0; }",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(CompileError):
+            compile_source(source, "bad.o")
+
+    def test_missing_main_for_executable(self):
+        with pytest.raises(CompileError):
+            compile_source("func helper() { return 1; }", "nomain.o", entry=True)
+
+    def test_library_without_main_ok(self):
+        module = compile_source("func helper() { return 1; }", "lib.o", entry=False)
+        assert "helper" in module.symbols

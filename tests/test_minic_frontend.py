@@ -1,0 +1,140 @@
+"""Tests for the MiniC lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minic import LexError, ParseError, TokenKind, parse, tokenize
+from repro.minic.ast import (
+    BinaryExpr,
+    CallExpr,
+    IfStmt,
+    NumberExpr,
+    StringExpr,
+    SwitchStmt,
+    WhileStmt,
+)
+
+
+class TestLexer:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("while whilex")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 'A' '\\n'")
+        assert [t.value for t in tokens[:-1]] == [42, 31, 65, 10]
+
+    def test_string_with_escapes(self):
+        (token, __) = tokenize(r'"a\tb"')
+        assert token.value == "a\tb"
+
+    def test_line_comment(self):
+        tokens = tokenize("a // comment\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_maximal_munch_operators(self):
+        tokens = tokenize("a<<b <= == &&")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["a", "<<", "b", "<=", "==", "&&"]
+
+    @pytest.mark.parametrize("bad", ['"unterminated', "'ab'", "`", "/* open"])
+    def test_errors(self, bad):
+        with pytest.raises(LexError):
+            tokenize(bad)
+
+
+class TestParser:
+    def test_function_and_params(self):
+        program = parse("func f(a, b) { return a + b; }")
+        (func,) = program.functions
+        assert func.name == "f"
+        assert func.params == ("a", "b")
+
+    def test_precedence(self):
+        program = parse("func f() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body[0]
+        expr = ret.value
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        program = parse("func f() { return (1 + 2) * 3; }")
+        expr = program.functions[0].body[0].value
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryExpr) and expr.left.op == "+"
+
+    def test_globals_and_consts(self):
+        program = parse(
+            'const N = 4;\nvar g = 7;\nvar s = "hi";\nvar arr[32];\n'
+            "func main() { return N; }"
+        )
+        assert program.constants["N"] == 4
+        scalar, string, array = program.globals
+        assert isinstance(scalar.init, NumberExpr) and scalar.init.value == 7
+        assert isinstance(string.init, StringExpr)
+        assert array.size == 32
+
+    def test_negative_const(self):
+        program = parse("const M = -3;\nfunc main() { return M; }")
+        assert program.constants["M"] == -3
+
+    def test_extern(self):
+        program = parse("extern func strlen;\nfunc main() { return strlen(0); }")
+        assert program.externs == ["strlen"]
+
+    def test_if_else_chain(self):
+        program = parse(
+            "func f(x) { if (x == 1) { return 1; } else if (x == 2) "
+            "{ return 2; } else { return 3; } }"
+        )
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt, IfStmt)
+        assert isinstance(stmt.else_body[0], IfStmt)
+
+    def test_while_with_break_continue(self):
+        program = parse(
+            "func f() { while (1) { if (1) { break; } continue; } return 0; }"
+        )
+        assert isinstance(program.functions[0].body[0], WhileStmt)
+
+    def test_switch_with_const_cases(self):
+        program = parse(
+            "const A = 10;\n"
+            "func f(x) { switch (x) { case A: return 1; case 'Z': return 2; "
+            "default: return 3; } return 0; }"
+        )
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt, SwitchStmt)
+        assert [c.value for c in stmt.cases] == [10, 90]
+        assert stmt.default is not None
+
+    def test_index_expression_and_assignment(self):
+        program = parse("func f(p) { p[0] = p[1] + 1; return 0; }")
+        assert program.functions[0].body[0].__class__.__name__ == "IndexAssignStmt"
+
+    def test_call_with_index_argument_reparses(self):
+        program = parse("func f(p) { g(p[2]); return 0; }")
+        stmt = program.functions[0].body[0]
+        assert isinstance(stmt.expr, CallExpr)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "func f( { }",
+            "func f() { return 1 }",             # missing semicolon
+            "var x[4] = 3;",                     # array initializer
+            "func f() { case 1: ; }",            # case outside switch
+            "func f(a,b,c,d,e,f2,g) { return 0; }",  # 7 params
+            "func f() { switch (1) { what: } }",
+            "99;",                               # junk at top level
+        ],
+    )
+    def test_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

@@ -1,0 +1,163 @@
+"""Heavier MiniC programs: stress the code generator's corner cases."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from .helpers import exit_code_of, run_minic
+
+
+class TestExpressionDepth:
+    def test_deeply_nested_arithmetic(self):
+        expr = "1"
+        for i in range(2, 30):
+            expr = f"({expr} + {i % 7})"
+        total = 1 + sum(i % 7 for i in range(2, 30))
+        assert exit_code_of(f"func main() {{ return ({expr}) % 251; }}") == total % 251
+
+    def test_long_logical_chain(self):
+        chain = " && ".join(f"({i} < {i + 1})" for i in range(20))
+        assert exit_code_of(f"func main() {{ if ({chain}) {{ return 9; }} return 1; }}") == 9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=10))
+    def test_mixed_expression_matches_python(self, values):
+        expr = " + ".join(f"({v})" for v in values)
+        expected = sum(values) % 199
+        code = exit_code_of(
+            f"func main() {{ var r = ({expr}) % 199; if (r < 0) "
+            "{ r = r + 199; } return r; }"
+        )
+        assert code == (expected + 199) % 199
+
+    def test_many_locals(self):
+        decls = "\n".join(f"    var v{i} = {i};" for i in range(40))
+        uses = " + ".join(f"v{i}" for i in range(40))
+        assert exit_code_of(
+            f"func main() {{\n{decls}\n    return ({uses}) % 251; }}"
+        ) == sum(range(40)) % 251
+
+
+class TestDataStructures:
+    def test_bubble_sort(self):
+        source = r"""
+var data[16];
+func main() {
+    var i = 0;
+    while (i < 16) { data[i] = (16 - i) * 3 % 17; i = i + 1; }
+    var pass = 0;
+    while (pass < 16) {
+        var j = 0;
+        while (j < 15) {
+            if (data[j] > data[j + 1]) {
+                var t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+            j = j + 1;
+        }
+        pass = pass + 1;
+    }
+    // verify sorted
+    i = 0;
+    while (i < 15) {
+        if (data[i] > data[i + 1]) { return 1; }
+        i = i + 1;
+    }
+    return data[0] + data[15];
+}
+"""
+        values = sorted((16 - i) * 3 % 17 for i in range(16))
+        assert exit_code_of(source) == values[0] + values[-1]
+
+    def test_string_reverse_via_libc(self):
+        source = r"""
+extern func strlen;
+extern func println;
+var buf[32];
+func main() {
+    var s = "dynacut";
+    var n = strlen(s);
+    var i = 0;
+    while (i < n) {
+        buf[i] = load8(s + n - 1 - i);
+        i = i + 1;
+    }
+    buf[n] = 0;
+    println(buf);
+    return n;
+}
+"""
+        __, proc = run_minic(source)
+        assert proc.exit_code == 7
+        assert proc.stdout_text() == "tucanyd\n"
+
+    def test_sieve_of_eratosthenes(self):
+        source = r"""
+var sieve[100];
+func main() {
+    var i = 2;
+    while (i < 100) { sieve[i] = 1; i = i + 1; }
+    i = 2;
+    while (i * i < 100) {
+        if (sieve[i]) {
+            var j = i * i;
+            while (j < 100) { sieve[j] = 0; j = j + i; }
+        }
+        i = i + 1;
+    }
+    var count = 0;
+    i = 2;
+    while (i < 100) { count = count + sieve[i]; i = i + 1; }
+    return count;
+}
+"""
+        assert exit_code_of(source) == 25   # primes below 100
+
+    def test_function_pointer_dispatch_table(self):
+        source = r"""
+var table[32];
+func op_add(a, b) { return a + b; }
+func op_sub(a, b) { return a - b; }
+func op_mul(a, b) { return a * b; }
+func op_mod(a, b) { return a % b; }
+func main() {
+    store64(table, op_add);
+    store64(table + 8, op_sub);
+    store64(table + 16, op_mul);
+    store64(table + 24, op_mod);
+    var acc = 0;
+    var i = 0;
+    while (i < 4) {
+        var fp = load64(table + 8 * i);
+        acc = acc + fp(10, 3);
+        i = i + 1;
+    }
+    return acc;    // 13 + 7 + 30 + 1
+}
+"""
+        assert exit_code_of(source) == 51
+
+
+class TestRecursionDepth:
+    def test_ackermann_small(self):
+        source = r"""
+func ack(m, n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+func main() { return ack(2, 3); }
+"""
+        assert exit_code_of(source) == 9
+
+    def test_deep_recursion_within_stack(self):
+        # 500 frames x (~4 slots + ret addr) stays well under the 1 MiB stack
+        source = r"""
+func down(n) {
+    if (n == 0) { return 0; }
+    return 1 + down(n - 1);
+}
+func main() { return down(500) % 251; }
+"""
+        assert exit_code_of(source) == 500 % 251

@@ -1,0 +1,96 @@
+"""Tests for the tracediff and crit command-line tools."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.criu.images import (
+    CoreImage,
+    MmImage,
+    RegsImage,
+    SigactionEntry,
+    VmaEntry,
+)
+from repro.tools import crit_cli, tracediff_cli
+from repro.tracing import BlockRecord, CoverageTrace, ModuleEntry
+
+
+@pytest.fixture()
+def trace_files(tmp_path):
+    def write(name, records):
+        trace = CoverageTrace(modules=[ModuleEntry("app", 0x400000, 0x500000)])
+        for offset, size in records:
+            trace.add(BlockRecord("app", offset, size))
+        path = tmp_path / name
+        path.write_text(trace.to_text())
+        return str(path)
+
+    wanted = write("wanted.cov", [(0x10, 4), (0x20, 8)])
+    undesired = write("undesired.cov", [(0x10, 4), (0x40, 8), (0x50, 4)])
+    return wanted, undesired
+
+
+class TestTracediffCli:
+    def test_prints_unique_blocks(self, trace_files, capsys):
+        wanted, undesired = trace_files
+        code = tracediff_cli.main(
+            ["--module", "app", "--wanted", wanted, "--undesired", undesired]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 unique blocks" in out
+        assert "0x40 8" in out
+        assert "0x50 4" in out
+        assert "0x10" not in out.splitlines()[-2:]
+
+    def test_exit_code_one_when_nothing_unique(self, trace_files, capsys):
+        wanted, __ = trace_files
+        code = tracediff_cli.main(
+            ["--module", "app", "--wanted", wanted, "--undesired", wanted]
+        )
+        assert code == 1
+
+
+class TestCritCli:
+    def _core_file(self, tmp_path):
+        core = CoreImage(
+            pid=9, ppid=1, binary="app",
+            regs=RegsImage(list(range(16)), 0x400100, False, False),
+            sigactions=[SigactionEntry(5, 0x7D0000, 0x7D0040)],
+        )
+        path = tmp_path / "core-9.img"
+        path.write_bytes(core.to_bytes())
+        return path
+
+    def test_decode_encode_roundtrip(self, tmp_path, capsys):
+        img = self._core_file(tmp_path)
+        json_path = tmp_path / "core-9.json"
+        crit_cli.main(["decode", str(img), "-o", str(json_path)])
+        payload = json.loads(json_path.read_text())
+        assert payload["pid"] == 9
+        out_img = tmp_path / "out.img"
+        crit_cli.main(["encode", str(json_path), "-o", str(out_img)])
+        assert out_img.read_bytes() == img.read_bytes()
+
+    def test_decode_to_stdout(self, tmp_path, capsys):
+        img = self._core_file(tmp_path)
+        crit_cli.main(["decode", str(img)])
+        assert '"pid": 9' in capsys.readouterr().out
+
+    def test_show_core(self, tmp_path, capsys):
+        img = self._core_file(tmp_path)
+        crit_cli.main(["show", str(img)])
+        out = capsys.readouterr().out
+        assert "pid=9" in out
+        assert "sigaction 5" in out
+
+    def test_show_mm(self, tmp_path, capsys):
+        mm = MmImage([VmaEntry(0x400000, 0x401000, "r-x", "app", 0x400000)])
+        path = tmp_path / "mm.img"
+        path.write_bytes(mm.to_bytes())
+        crit_cli.main(["show", str(path)])
+        out = capsys.readouterr().out
+        assert "1 VMAs" in out
+        assert "r-x app" in out

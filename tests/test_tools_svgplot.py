@@ -1,0 +1,64 @@
+"""Tests for the dependency-free SVG line charts."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.tools.svgplot import LineChart
+
+
+def _chart() -> LineChart:
+    chart = LineChart("Throughput", "time (s)", "req/s")
+    chart.add_series("a", [(0, 10), (1, 12), (2, 8)])
+    chart.add_series("b", [(0, 9), (1, 9), (2, 9)], dashed=True)
+    return chart
+
+
+class TestLineChart:
+    def test_output_is_wellformed_xml(self):
+        root = ET.fromstring(_chart().to_svg())
+        assert root.tag.endswith("svg")
+
+    def test_title_and_labels_present(self):
+        svg = _chart().to_svg()
+        assert "Throughput" in svg
+        assert "time (s)" in svg
+        assert "req/s" in svg
+
+    def test_one_polyline_per_series(self):
+        svg = _chart().to_svg()
+        assert svg.count("<polyline") == 2
+
+    def test_dashed_series_marked(self):
+        svg = _chart().to_svg()
+        assert "stroke-dasharray" in svg
+
+    def test_legend_labels(self):
+        svg = _chart().to_svg()
+        assert ">a</text>" in svg
+        assert ">b</text>" in svg
+
+    def test_points_scaled_into_plot_area(self):
+        chart = _chart()
+        svg = chart.to_svg()
+        root = ET.fromstring(svg)
+        ns = root.tag.split("}")[0] + "}" if "}" in root.tag else ""
+        for poly in root.iter(f"{ns}polyline"):
+            for pair in poly.get("points").split():
+                x, y = map(float, pair.split(","))
+                assert 0 <= x <= chart.width
+                assert 0 <= y <= chart.height
+
+    def test_flat_series_does_not_crash(self):
+        chart = LineChart("flat", "x", "y")
+        chart.add_series("only", [(0, 5), (1, 5)])
+        assert "<polyline" in chart.to_svg()
+
+    def test_empty_chart_renders(self):
+        chart = LineChart("empty", "x", "y")
+        ET.fromstring(chart.to_svg())
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        _chart().save(path)
+        assert path.read_text().startswith("<svg")

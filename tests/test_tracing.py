@@ -1,0 +1,160 @@
+"""Tests for the drcov trace format and the block tracer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.kernel import Kernel
+from repro.tracing import (
+    BlockRecord,
+    BlockTracer,
+    CoverageTrace,
+    ModuleEntry,
+    merge_traces,
+)
+from repro.workloads import RedisClient
+
+from .helpers import build_minic, run_image
+
+
+_records = st.builds(
+    BlockRecord,
+    module=st.sampled_from(["app", "libc.so", "other.so"]),
+    offset=st.integers(0, 1 << 20),
+    size=st.integers(1, 64),
+)
+
+
+class TestCoverageTrace:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_records, max_size=60))
+    def test_text_roundtrip(self, records):
+        trace = CoverageTrace(
+            modules=[ModuleEntry("app", 0x400000, 0x500000),
+                     ModuleEntry("libc.so", 0x7F00000000, 0x7F10000000),
+                     ModuleEntry("other.so", 0, 0x1000)]
+        )
+        for record in records:
+            trace.add(record)
+        parsed = CoverageTrace.from_text(trace.to_text())
+        assert parsed.blocks == trace.blocks
+        assert parsed.order == trace.order
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_records, max_size=40))
+    def test_add_is_idempotent(self, records):
+        trace = CoverageTrace()
+        for record in records:
+            trace.add(record)
+            trace.add(record)
+        assert len(trace.order) == len(trace.blocks)
+
+    def test_first_seen_order_preserved(self):
+        trace = CoverageTrace()
+        a = BlockRecord("m", 16, 4)
+        b = BlockRecord("m", 0, 4)
+        trace.add(a)
+        trace.add(b)
+        trace.add(a)
+        assert trace.order == [a, b]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.lists(_records, max_size=20), max_size=4))
+    def test_merge_is_union(self, groups):
+        traces = []
+        for group in groups:
+            trace = CoverageTrace()
+            for record in group:
+                trace.add(record)
+            traces.append(trace)
+        merged = merge_traces(traces)
+        expected = set().union(*(t.blocks for t in traces)) if traces else set()
+        assert merged.blocks == expected
+
+    def test_module_blocks_filter(self):
+        trace = CoverageTrace()
+        trace.add(BlockRecord("app", 0, 4))
+        trace.add(BlockRecord("libc.so", 0, 4))
+        assert trace.module_blocks("app") == {BlockRecord("app", 0, 4)}
+
+    def test_bad_header_rejected(self):
+        try:
+            CoverageTrace.from_text("not a trace\n")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestBlockTracer:
+    def test_traces_known_program_blocks(self):
+        # a program with an easily countable block structure
+        image = build_minic(
+            "func main() { var s = 0; var i = 0; while (i < 4) "
+            "{ s = s + i; i = i + 1; } return s; }",
+            "loopy",
+            with_libc=False,
+        )
+        kernel = Kernel()
+        kernel.register_binary(image)
+        proc = kernel.spawn("loopy")
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run_until(lambda: not proc.alive)
+        trace = tracer.finish()
+        blocks = trace.module_blocks("loopy")
+        assert blocks, "no blocks recorded"
+        # loop body blocks recorded once despite 4 iterations
+        assert len(trace.order) == len(blocks)
+        # every block lies in the text segment
+        text = image.segment("text")
+        for block in blocks:
+            assert text.vaddr <= block.offset < text.vaddr + len(text.data)
+
+    def test_block_sizes_cover_executed_bytes(self):
+        image = build_minic(
+            "func main() { return 1 + 2; }", "tiny", with_libc=False
+        )
+        kernel = Kernel()
+        kernel.register_binary(image)
+        proc = kernel.spawn("tiny")
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run_until(lambda: not proc.alive)
+        trace = tracer.finish()
+        for block in trace.blocks:
+            assert block.size > 0
+
+    def test_nudge_splits_phases(self, redis_server):
+        kernel, proc, client = redis_server
+        kernel.detach_tracer(proc.pid)
+        tracer = BlockTracer(kernel, proc).attach()
+        client.ping()
+        phase1 = tracer.nudge_dump()
+        client.set("x", "1")
+        phase2 = tracer.finish()
+        # SET's handler blocks appear only in phase 2
+        only_phase2 = phase2.module_blocks(REDIS_BINARY) - phase1.module_blocks(
+            REDIS_BINARY
+        )
+        assert only_phase2
+        assert len(tracer.dumps) == 2
+
+    def test_library_blocks_attributed_to_libc(self, redis_server):
+        kernel, proc, client = redis_server
+        tracer = BlockTracer(kernel, proc).attach()
+        client.ping()
+        trace = tracer.finish()
+        assert trace.module_blocks("libc.so")
+        # libc offsets are module-relative (small), not absolute
+        assert all(b.offset < 0x100000 for b in trace.module_blocks("libc.so"))
+
+    def test_tracer_detached_stops_recording(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel, run_to_ready=False)
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run(max_instructions=1_000)
+        events = tracer.block_events
+        tracer.detach()
+        kernel.run(max_instructions=5_000)
+        assert tracer.block_events == events
