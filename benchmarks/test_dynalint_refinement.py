@@ -1,0 +1,137 @@
+"""DynaLint refinement: verifier trap-restores with and without static
+removal-set refinement.
+
+The §3.2.2 over-removal hazard, measured: a thin wanted profile (two
+plain GETs) makes TraceDiff claim much more of Lighttpd than the DAV
+feature owns.  Verify-mode removal of the raw set heals dozens of
+blocks at runtime; refining the set first (dominator cutset over the
+``lh_handle_request`` dispatcher arms) drops the suspects before the
+rewrite, so only the enforced dispatcher arms ever trap — with
+identical end-to-end behaviour and the redirect (403) policy
+unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps import LIGHTTPD_PORT, stage_lighttpd
+from repro.apps.httpd_lighttpd import LIGHTTPD_BINARY, READY_LINE
+from repro.core import BlockMode, DynaCut, TraceDiff, TrapPolicy
+from repro.core.verifier import read_verifier_log
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import HttpClient
+
+from conftest import print_table
+
+DISPATCHER = "lh_handle_request"
+
+
+def _thin_profile():
+    kernel = Kernel()
+    proc = stage_lighttpd(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text(),
+                     max_instructions=5_000_000)
+    tracer.nudge_dump()
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+    kernel.fs.write_file("/var/www/about.html", "<p>about</p>")
+    client.get("/")
+    client.get("/about.html")
+    wanted = tracer.nudge_dump()
+    client.put("/probe.txt", "x")
+    client.delete("/probe.txt")
+    undesired = tracer.finish()
+    feature = TraceDiff(LIGHTTPD_BINARY).feature_blocks(
+        "dav-write", [wanted], [undesired]
+    )
+    return kernel, proc, feature
+
+
+def _exercise(client):
+    return [
+        client.get("/").status,
+        client.get("/about.html").status,
+        client.get("/missing.html").status,
+        client.head("/").status,
+        client.options("/").status,
+        client.post("/echo", "abcd").status,
+    ]
+
+
+def _verify_run(refine: bool):
+    kernel, proc, feature = _thin_profile()
+    dynacut = DynaCut(kernel)
+    report = dynacut.disable_feature(
+        proc.pid, feature, policy=TrapPolicy.VERIFY, mode=BlockMode.ALL,
+        refine=refine, dispatcher_symbol=DISPATCHER if refine else None,
+    )
+    proc = dynacut.restored_process(proc.pid)
+    statuses = _exercise(HttpClient(kernel, LIGHTTPD_PORT))
+    traps = len(read_verifier_log(kernel, proc).trapped_addresses)
+    return {
+        "removal_set": feature.count,
+        "blocks_patched": report.stats.blocks_patched,
+        "trap_restores": traps,
+        "statuses": statuses,
+        "lint_clean": report.lint.ok if report.lint else None,
+        "classification": (
+            report.refinement.counts if report.refinement else None
+        ),
+    }
+
+
+def _redirect_run():
+    """The 403 policy, untouched by refinement (it does not compose)."""
+    kernel, proc, feature = _thin_profile()
+    dynacut = DynaCut(kernel)
+    dynacut.disable_feature(
+        proc.pid, feature, policy=TrapPolicy.REDIRECT,
+        redirect_symbol="http_forbidden_entry",
+    )
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+    return {
+        "put_status": client.put("/x", "v").status,
+        "get_status": client.get("/").status,
+    }
+
+
+def test_dynalint_refinement(benchmark, results_dir):
+    def run():
+        return {
+            "unrefined": _verify_run(refine=False),
+            "refined": _verify_run(refine=True),
+            "redirect": _redirect_run(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    unrefined, refined = results["unrefined"], results["refined"]
+
+    rows = [
+        ["unrefined", unrefined["removal_set"], unrefined["blocks_patched"],
+         unrefined["trap_restores"], unrefined["lint_clean"]],
+        ["refined", refined["removal_set"], refined["blocks_patched"],
+         refined["trap_restores"], refined["lint_clean"]],
+    ]
+    print_table(
+        "DynaLint refinement: Lighttpd PUT/DELETE, thin wanted profile",
+        ["variant", "removal set", "patched", "trap-restores", "lint clean"],
+        rows,
+    )
+    (results_dir / "dynalint_refinement.json").write_text(
+        json.dumps(results, indent=2)
+    )
+
+    # behaviour identical; trap-restores strictly reduced
+    assert refined["statuses"] == unrefined["statuses"]
+    assert refined["trap_restores"] < unrefined["trap_restores"]
+    assert refined["blocks_patched"] < unrefined["blocks_patched"]
+    # refinement really classified: suspects dropped, some blocks proven
+    counts = refined["classification"]
+    assert counts["suspect"] >= 1 and counts["provably_dead"] >= 1
+    assert sum(counts.values()) == refined["removal_set"]
+    # lint ran under the verify policy and found nothing
+    assert refined["lint_clean"] is True and unrefined["lint_clean"] is True
+    # the redirect policy is untouched by all of this
+    assert results["redirect"] == {"put_status": 403, "get_status": 200}

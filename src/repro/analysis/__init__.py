@@ -1,15 +1,47 @@
-"""Static binary analysis: CFG recovery and basic-block discovery."""
+"""Static binary analysis: CFG recovery, DynaLint program analyses,
+removal-set refinement, and rewritten-image lint."""
 
 from .cfg import BasicBlock, CfgBuilder, ControlFlowGraph, build_cfg, total_basic_blocks
 from .plt import executed_plt_entries, plt_entries_in_blocks, plt_entry_at
+from .dominators import (
+    VIRTUAL_ROOT,
+    DominatorTree,
+    collectively_dominated,
+    compute_dominators,
+)
+from .callgraph import CallGraph, CallSite, FunctionNode, build_callgraph, owned_functions
+from .reachability import (
+    BlockClass,
+    RemovalClassification,
+    classify_block_starts,
+    refine_removal_set,
+)
+from .lint import ImageLinter, LintDiagnostic, LintReport, lint_checkpoint
 
 __all__ = [
     "BasicBlock",
+    "BlockClass",
+    "CallGraph",
+    "CallSite",
     "CfgBuilder",
     "ControlFlowGraph",
+    "DominatorTree",
+    "FunctionNode",
+    "ImageLinter",
+    "LintDiagnostic",
+    "LintReport",
+    "RemovalClassification",
+    "VIRTUAL_ROOT",
+    "build_callgraph",
     "build_cfg",
+    "classify_block_starts",
+    "collectively_dominated",
+    "compute_dominators",
     "executed_plt_entries",
+    "lint_checkpoint",
+    "owned_functions",
     "plt_entries_in_blocks",
     "plt_entry_at",
+    "refine_removal_set",
     "total_basic_blocks",
 ]

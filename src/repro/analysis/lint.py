@@ -1,0 +1,371 @@
+"""DynaLint image lint: static checks over rewritten CRIU images.
+
+The rewriter mutates checkpoint images between dump and restore; a bug
+in that pipeline (or a corrupted image on disk) surfaces only after
+restore, as a crash in the customized process.  The lint decodes the
+rewritten image against the pristine binaries registered with the
+kernel and flags structural damage *before* restore.
+
+Diagnostic codes (stable, used by tests and the CLI):
+
+========  ============================================================
+``DL101``  an ``int3`` patch run starts mid-instruction (not on a
+           decoded instruction boundary of a recovered block)
+``DL102``  a kept instruction decodes into wiped bytes: its first byte
+           is intact but later bytes were overwritten
+``DL103``  executable bytes differ from the pristine binary and are
+           not ``int3`` (and not a load-time relocation site)
+``DL201``  an injected (``dynacut:*``) VMA overlaps another VMA
+``DL202``  an injected VMA's permissions do not match the handler
+           library's segment
+``DL203``  an injected VMA is not fully backed by dumped pages
+``DL301``  a GOT/relocation word of the injected library does not
+           resolve into a mapped VMA
+``DL401``  the SIGTRAP sigaction handler does not point at mapped
+           executable bytes
+``DL402``  the SIGTRAP restorer does not point at mapped executable
+           bytes
+========  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..binfmt.self_format import DynRelocType, SelfImage
+from ..isa.disassembler import disassemble_range
+from ..isa.instructions import INT3_OPCODE
+from ..kernel.kernel import Kernel
+from ..kernel.signals import Signal
+from ..criu.images import CheckpointImage, ImageError, ProcessImage, VmaEntry
+from .cfg import ControlFlowGraph, build_cfg
+
+INJECT_TAG_PREFIX = "dynacut:"
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One lint finding, attributed to a process and an address."""
+
+    code: str
+    pid: int
+    address: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.code} pid={self.pid} @{self.address:#x}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """All findings over one checkpoint image."""
+
+    diagnostics: list[LintDiagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def codes(self) -> set[str]:
+        return {diag.code for diag in self.diagnostics}
+
+    def by_code(self, code: str) -> list[LintDiagnostic]:
+        return [diag for diag in self.diagnostics if diag.code == code]
+
+    def summary(self) -> str:
+        if self.ok:
+            return "dynalint: image clean"
+        lines = [f"dynalint: {len(self.diagnostics)} finding(s)"]
+        lines += [f"  {diag}" for diag in self.diagnostics]
+        return "\n".join(lines)
+
+
+class ImageLinter:
+    """Lints one checkpoint against the kernel's registered binaries."""
+
+    def __init__(self, kernel: Kernel, checkpoint: CheckpointImage):
+        self.kernel = kernel
+        self.checkpoint = checkpoint
+        self.report = LintReport()
+        self._cfgs: dict[str, ControlFlowGraph] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> LintReport:
+        for image in self.checkpoint.processes:
+            self._lint_code_patches(image)
+            self._lint_injected_vmas(image)
+            self._lint_handler_got(image)
+            self._lint_sigtrap(image)
+        return self.report
+
+    def _emit(self, code: str, pid: int, address: int, message: str) -> None:
+        self.report.diagnostics.append(
+            LintDiagnostic(code, pid, address, message)
+        )
+
+    def _cfg(self, module: str, binary: SelfImage) -> ControlFlowGraph:
+        if module not in self._cfgs:
+            self._cfgs[module] = build_cfg(binary)
+        return self._cfgs[module]
+
+    # ------------------------------------------------------------------
+    # DL1xx: code-patch checks
+
+    def _module_bases(self, image: ProcessImage) -> dict[str, int]:
+        bases: dict[str, int] = {}
+        for vma in image.mm.vmas:
+            module = vma.file_path
+            if not module or module not in self.kernel.binaries:
+                continue
+            candidate = vma.start - vma.file_offset
+            if module not in bases or candidate < bases[module]:
+                bases[module] = candidate
+        return bases
+
+    def _lint_code_patches(self, image: ProcessImage) -> None:
+        for module, base in self._module_bases(image).items():
+            binary = self.kernel.binaries[module]
+            for seg in binary.segments:
+                if seg.name not in ("text", "plt") or not seg.data:
+                    continue
+                self._lint_segment(image, module, binary, base, seg)
+
+    def _lint_segment(
+        self, image: ProcessImage, module: str, binary: SelfImage,
+        base: int, seg,
+    ) -> None:
+        pristine = seg.data
+        current = self._read_dumped(image, base + seg.vaddr, len(pristine))
+        # link-base-relative offsets of modified bytes, split by kind
+        patched: set[int] = set()
+        foreign: set[int] = set()
+        # bytes that are int3 both before and after the rewrite: a wipe
+        # over a pristine 0xCC (e.g. inside a movi immediate) leaves no
+        # diff there, and must not split the patch run in two
+        cc_same: set[int] = set()
+        for index, byte in enumerate(current):
+            if byte is None:
+                continue
+            offset = seg.vaddr + index
+            if byte == pristine[index]:
+                if byte == INT3_OPCODE:
+                    cc_same.add(offset)
+                continue
+            if byte == INT3_OPCODE:
+                patched.add(offset)
+            else:
+                foreign.add(offset)
+
+        reloc_bytes = self._reloc_bytes(binary, seg)
+        for offset in sorted(foreign - reloc_bytes):
+            if offset - 1 in foreign - reloc_bytes:
+                continue        # one diagnostic per run
+            self._emit(
+                "DL103", image.pid, base + offset,
+                f"{module}: executable bytes differ from the pristine "
+                "binary and are not int3",
+            )
+        if not patched:
+            return
+
+        cfg = self._cfg(module, binary)
+        starts, extents = self._instruction_map(cfg, binary, seg)
+        run_member = patched | cc_same
+        for offset in sorted(patched):
+            if offset - 1 in run_member:
+                continue        # check the start of each patch run
+            if offset not in starts:
+                self._emit(
+                    "DL101", image.pid, base + offset,
+                    f"{module}: int3 patch does not start on an "
+                    "instruction boundary",
+                )
+        for start, end in extents:
+            if start in patched:
+                continue        # entry byte trapped: the block is guarded
+            tail = [o for o in range(start + 1, end) if o in patched]
+            if tail:
+                self._emit(
+                    "DL102", image.pid, base + start,
+                    f"{module}: kept instruction at {base + start:#x} "
+                    f"decodes into wiped bytes at {base + tail[0]:#x}",
+                )
+
+    def _read_dumped(
+        self, image: ProcessImage, address: int, size: int
+    ) -> list[int | None]:
+        """Bytes of ``[address, address+size)``; None where not dumped."""
+        try:
+            return list(image.read_memory(address, size))
+        except ImageError:
+            out: list[int | None] = []
+            for index in range(size):
+                addr = address + index
+                if image.has_dumped(addr):
+                    out.append(image.read_memory(addr, 1)[0])
+                else:
+                    out.append(None)
+            return out
+
+    def _reloc_bytes(self, binary: SelfImage, seg) -> set[int]:
+        """Offsets load-time relocation may legitimately rewrite."""
+        out: set[int] = set()
+        seg_end = seg.vaddr + len(seg.data)
+        for reloc in binary.dynamic_relocs:
+            if seg.vaddr <= reloc.vaddr < seg_end:
+                out.update(range(reloc.vaddr, reloc.vaddr + 8))
+        return out
+
+    def _instruction_map(
+        self, cfg: ControlFlowGraph, binary: SelfImage, seg
+    ) -> tuple[set[int], list[tuple[int, int]]]:
+        """Instruction starts and [start, end) extents in one segment."""
+        starts: set[int] = set()
+        extents: list[tuple[int, int]] = []
+        seg_end = seg.vaddr + len(seg.data)
+        for block in cfg.blocks:
+            if not (seg.vaddr <= block.start < seg_end):
+                continue
+            decoded, __ = disassemble_range(
+                seg.data, block.start, min(block.end, seg_end), base=seg.vaddr
+            )
+            for insn in decoded:
+                starts.add(insn.address)
+                extents.append((insn.address, insn.end))
+        return starts, extents
+
+    # ------------------------------------------------------------------
+    # DL2xx: injected-library VMA checks
+
+    def _handler_library(self) -> SelfImage | None:
+        libc = self.kernel.binaries.get("libc.so")
+        if libc is None:
+            return None
+        from ..core.sighandler import build_handler_library
+
+        return build_handler_library(libc)
+
+    def _lint_injected_vmas(self, image: ProcessImage) -> None:
+        library = self._handler_library()
+        seg_perms = (
+            {seg.name: seg.perms for seg in library.segments}
+            if library is not None else {}
+        )
+        for vma in image.mm.vmas:
+            if not vma.tag.startswith(INJECT_TAG_PREFIX):
+                continue
+            for other in image.mm.vmas:
+                if other is vma:
+                    continue
+                if other.start < vma.end and vma.start < other.end:
+                    self._emit(
+                        "DL201", image.pid, vma.start,
+                        f"injected VMA [{vma.start:#x}, {vma.end:#x}) "
+                        f"overlaps [{other.start:#x}, {other.end:#x}) "
+                        f"({other.tag or other.file_path or 'anon'})",
+                    )
+            seg_name = vma.tag[len(INJECT_TAG_PREFIX):]
+            expected = seg_perms.get(seg_name)
+            if expected is not None and vma.perms != expected:
+                self._emit(
+                    "DL202", image.pid, vma.start,
+                    f"injected {seg_name!r} VMA has perms {vma.perms!r}, "
+                    f"library segment wants {expected!r}",
+                )
+            undumped = self._first_undumped(image, vma)
+            if undumped is not None:
+                self._emit(
+                    "DL203", image.pid, undumped,
+                    f"injected {seg_name!r} VMA byte {undumped:#x} has no "
+                    "dumped page backing it",
+                )
+
+    def _first_undumped(self, image: ProcessImage, vma: VmaEntry) -> int | None:
+        from ..kernel.memory import PAGE_SIZE
+
+        addr = vma.start
+        while addr < vma.end:
+            if not image.has_dumped(addr):
+                return addr
+            addr += PAGE_SIZE
+        return None
+
+    # ------------------------------------------------------------------
+    # DL301: injected-library relocation words
+
+    def _injected_base(self, image: ProcessImage, library: SelfImage) -> int | None:
+        """Handler base from its text VMA (independent of sigactions)."""
+        text_vaddr = next(
+            (seg.vaddr for seg in library.segments if seg.name == "text"), None
+        )
+        if text_vaddr is None:
+            return None
+        for vma in image.mm.vmas:
+            if vma.tag == f"{INJECT_TAG_PREFIX}text":
+                return vma.start - text_vaddr
+        return None
+
+    def _lint_handler_got(self, image: ProcessImage) -> None:
+        library = self._handler_library()
+        if library is None:
+            return
+        base = self._injected_base(image, library)
+        if base is None:
+            return
+        span = max(seg.end for seg in library.segments)
+        for reloc in library.dynamic_relocs:
+            site = base + reloc.vaddr
+            if not image.has_dumped(site):
+                continue
+            word = int.from_bytes(image.read_memory(site, 8), "little")
+            if reloc.type is DynRelocType.RELATIVE:
+                inside = base <= word < base + span
+            else:
+                inside = image.mm.vma_at(word) is not None
+            if not inside:
+                what = reloc.symbol or "RELATIVE"
+                self._emit(
+                    "DL301", image.pid, site,
+                    f"injected-library relocation word for {what} holds "
+                    f"{word:#x}, which maps to nothing",
+                )
+
+    # ------------------------------------------------------------------
+    # DL4xx: SIGTRAP sigaction
+
+    def _lint_sigtrap(self, image: ProcessImage) -> None:
+        sig = int(Signal.SIGTRAP)
+        for action in image.core.sigactions:
+            if action.signal != sig:
+                continue
+            if action.handler and not self._executable_at(image, action.handler):
+                self._emit(
+                    "DL401", image.pid, action.handler,
+                    "SIGTRAP handler does not point at mapped executable "
+                    "dumped bytes",
+                )
+            if action.restorer and not self._executable_at(
+                image, action.restorer
+            ):
+                self._emit(
+                    "DL402", image.pid, action.restorer,
+                    "SIGTRAP restorer does not point at mapped executable "
+                    "dumped bytes",
+                )
+
+    def _executable_at(self, image: ProcessImage, address: int) -> bool:
+        vma = image.mm.vma_at(address)
+        if vma is None or not vma.executable:
+            return False
+        # injected/anonymous executable code must also be in the dump;
+        # file-backed text is restored from the binary either way
+        if vma.is_anon and not image.has_dumped(address):
+            return False
+        return True
+
+
+def lint_checkpoint(kernel: Kernel, checkpoint: CheckpointImage) -> LintReport:
+    """Run every DynaLint image check over ``checkpoint``."""
+    return ImageLinter(kernel, checkpoint).run()

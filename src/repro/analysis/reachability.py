@@ -1,0 +1,238 @@
+"""Removal-set classification: provably-dead / trap-required / suspect.
+
+DynaCut's tracediff produces *dynamic* removal sets: blocks executed by
+undesired features and never by wanted ones.  The runtime verifier
+(§3.2.3) discovers false removals only after the restored process traps
+on them.  This module moves that judgement before restore, using the
+static CFG:
+
+``TRAP_REQUIRED``
+    The designated feature entries (the dispatcher arms guarding the
+    feature) plus removal records that begin mid-block, where kept code
+    in the same static block falls straight into the removed bytes.
+    These sites keep their ``int3`` so the trap policy still enforces
+    the removal.
+
+``SUSPECT``
+    Removed blocks that kept code can still reach *without* crossing a
+    trap site — the static signature of a false removal.  Suspicion
+    propagates: a removed block reachable only through another suspect
+    is itself suspect.  Suspects are dropped from the rewrite and
+    reported, instead of being discovered by runtime traps.
+
+``PROVABLY_DEAD``
+    Everything else: every kept path to the block crosses a designated
+    entry (the cut set *collectively dominates* it), or no kept path
+    exists at all.  Once the entries are patched the block can never
+    execute, so it is safe to WIPE or unmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..binfmt.self_format import SelfImage
+from ..tracing.drcov import BlockRecord
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dominators import collectively_dominated
+
+
+class BlockClass(Enum):
+    """Static verdict on one removal-set block."""
+
+    PROVABLY_DEAD = "provably-dead"
+    TRAP_REQUIRED = "trap-required"
+    SUSPECT = "suspect"
+
+
+@dataclass
+class RemovalClassification:
+    """Per-record verdicts for one removal set against one binary."""
+
+    module: str
+    provably_dead: list[BlockRecord] = field(default_factory=list)
+    trap_required: list[BlockRecord] = field(default_factory=list)
+    suspect: list[BlockRecord] = field(default_factory=list)
+    #: static block starts guarding the provably-dead set
+    entry_starts: tuple[int, ...] = ()
+
+    @property
+    def removable(self) -> list[BlockRecord]:
+        """Blocks that stay in the rewrite: trap sites first, then dead."""
+        return self.trap_required + self.provably_dead
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            "provably_dead": len(self.provably_dead),
+            "trap_required": len(self.trap_required),
+            "suspect": len(self.suspect),
+        }
+
+    def verdict_of(self, record: BlockRecord) -> BlockClass | None:
+        if record in self.trap_required:
+            return BlockClass.TRAP_REQUIRED
+        if record in self.provably_dead:
+            return BlockClass.PROVABLY_DEAD
+        if record in self.suspect:
+            return BlockClass.SUSPECT
+        return None
+
+
+def classify_block_starts(
+    cfg: ControlFlowGraph,
+    removed_starts: set[int],
+    entry_starts: set[int],
+) -> dict[int, BlockClass]:
+    """Classify removed *static* block starts against the kept graph.
+
+    ``entry_starts`` are the trap-guarded dispatcher arms; every other
+    removed start becomes SUSPECT when kept code reaches it without
+    crossing an entry, PROVABLY_DEAD otherwise.
+    """
+    all_starts = cfg.block_starts()
+    kept_starts = all_starts - removed_starts
+    # blocks whose every kept path crosses the entry cut set …
+    guarded = collectively_dominated(cfg.edges, kept_starts, entry_starts)
+    # … plus blocks kept code cannot reach at all
+    reached = _reachable(cfg.edges, kept_starts)
+    verdicts: dict[int, BlockClass] = {}
+    for start in removed_starts:
+        if start in entry_starts:
+            verdicts[start] = BlockClass.TRAP_REQUIRED
+        elif start in guarded or start not in reached:
+            verdicts[start] = BlockClass.PROVABLY_DEAD
+        else:
+            verdicts[start] = BlockClass.SUSPECT
+    return verdicts
+
+
+def _reachable(edges, roots) -> set[int]:
+    seen: set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(s for s in edges.get(node, ()) if s not in seen)
+    return seen
+
+
+def refine_removal_set(
+    binary: SelfImage,
+    records: list[BlockRecord],
+    entries: list[BlockRecord] | None = None,
+    cfg: ControlFlowGraph | None = None,
+) -> RemovalClassification:
+    """Classify a dynamic removal set for one module.
+
+    ``entries`` are the records chosen as trap sites (the dispatcher
+    arms for feature removal).  With no entries — the init-phase case —
+    the trap frontier is derived automatically: every removed block
+    with a direct edge from kept code becomes TRAP_REQUIRED, so the
+    interior is wipe-safe and nothing is suspect.  Records are
+    classified by the static blocks they cover; a record spanning
+    several static blocks takes the most conservative verdict among
+    them.
+    """
+    if cfg is None:
+        cfg = build_cfg(binary)
+    entries = entries or []
+
+    removed_starts: set[int] = set()
+    for record in records:
+        record_end = record.offset + record.size
+        for block in _covered_blocks(cfg, record):
+            # only blocks *fully* inside the record are removed as
+            # block starts; partially covered ones keep a live prefix
+            if record.offset <= block.start and block.end <= record_end:
+                removed_starts.add(block.start)
+    entry_starts = {
+        block.start
+        for record in entries
+        for block in _covered_blocks(cfg, record)
+    }
+    removed_starts |= entry_starts
+    if not entries:
+        entry_starts = _frontier(cfg, removed_starts)
+
+    verdicts = classify_block_starts(cfg, removed_starts, entry_starts)
+
+    out = RemovalClassification(
+        binary.name, entry_starts=tuple(sorted(entry_starts))
+    )
+    entry_offsets = {record.offset for record in entries}
+    for record in records:
+        out_class = _record_verdict(
+            cfg, record, verdicts, removed_starts, entry_offsets
+        )
+        {
+            BlockClass.PROVABLY_DEAD: out.provably_dead,
+            BlockClass.TRAP_REQUIRED: out.trap_required,
+            BlockClass.SUSPECT: out.suspect,
+        }[out_class].append(record)
+    return out
+
+
+def _frontier(cfg: ControlFlowGraph, removed_starts: set[int]) -> set[int]:
+    """Removed blocks with a direct edge from a kept block."""
+    frontier: set[int] = set()
+    for start, successors in cfg.edges.items():
+        if start in removed_starts:
+            continue
+        frontier.update(s for s in successors if s in removed_starts)
+    return frontier
+
+
+def _record_verdict(
+    cfg: ControlFlowGraph,
+    record: BlockRecord,
+    verdicts: dict[int, BlockClass],
+    removed_starts: set[int],
+    entry_offsets: set[int],
+) -> BlockClass:
+    if record.offset in entry_offsets:
+        return BlockClass.TRAP_REQUIRED
+    covered = _covered_blocks(cfg, record)
+    if not covered:
+        # bytes outside every recovered block: nothing provable
+        return BlockClass.TRAP_REQUIRED
+    worst = BlockClass.PROVABLY_DEAD
+    for block in covered:
+        if block.start < record.offset and block.start not in removed_starts:
+            # the record starts mid-block under a kept prefix that
+            # falls straight into the removed bytes
+            worst = _meet(worst, BlockClass.TRAP_REQUIRED)
+            continue
+        verdict = verdicts.get(block.start)
+        if verdict is None:
+            # partially covered block whose start is kept
+            verdict = (
+                BlockClass.TRAP_REQUIRED
+                if block.start < record.offset
+                else BlockClass.SUSPECT
+            )
+        worst = _meet(worst, verdict)
+    return worst
+
+
+_SEVERITY = {
+    BlockClass.PROVABLY_DEAD: 0,
+    BlockClass.TRAP_REQUIRED: 1,
+    BlockClass.SUSPECT: 2,
+}
+
+
+def _meet(a: BlockClass, b: BlockClass) -> BlockClass:
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b
+
+
+def _covered_blocks(cfg: ControlFlowGraph, record: BlockRecord) -> list[BasicBlock]:
+    """Static blocks overlapping the record's byte range, in order."""
+    record_end = record.offset + record.size
+    return [
+        block for block in cfg.blocks
+        if block.start < record_end and record.offset < block.end
+    ]

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from ..analysis.lint import LintReport, lint_checkpoint
+from ..analysis.reachability import RemovalClassification, refine_removal_set
 from ..binfmt.self_format import SelfImage
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
@@ -91,6 +93,10 @@ class RewriteReport:
     stats: RewriteStats
     checkpoint_ns: int = 0
     restore_ns: int = 0
+    #: DynaLint verdict over the rewritten image (None = lint not run)
+    lint: LintReport | None = None
+    #: static removal-set refinement applied this session, if any
+    refinement: RemovalClassification | None = None
 
     @property
     def patch_ns(self) -> int:
@@ -129,6 +135,12 @@ class DynaCut:
     kernel: Kernel
     cost_model: CriuCostModel = DEFAULT_COST_MODEL
     image_dir: str = "/tmp/criu/dynacut"
+    #: when to run the DynaLint image checks after a rewrite:
+    #: "verify" (whenever the verifier policy is installed, the
+    #: default), "always", or "off"
+    lint_mode: str = "verify"
+    #: raise instead of restoring when the lint finds damage
+    lint_strict: bool = False
     #: reports of every session run through this instance
     history: list[RewriteReport] = field(default_factory=list)
     #: blocks actually patched per (root pid, feature name), so a later
@@ -158,6 +170,20 @@ class DynaCut:
 
         rewriter = ImageRewriter(self.kernel, checkpoint, self.cost_model)
         actions(rewriter)
+        # overwrite the on-disk image files with the rewritten state, so
+        # offline tooling (crit, dynalint) sees what will be restored
+        checkpoint.save(self.kernel.fs, self.image_dir)
+
+        lint = None
+        if self.lint_mode == "always" or (
+            self.lint_mode == "verify"
+            and POLICY_VERIFY in rewriter.policies_installed
+        ):
+            lint = lint_checkpoint(self.kernel, checkpoint)
+            if self.lint_strict and not lint.ok:
+                raise RewriteError(
+                    "dynalint rejected the rewritten image:\n" + lint.summary()
+                )
 
         clock = self.kernel.clock_ns
         restored = restore_tree(self.kernel, checkpoint, self.cost_model)
@@ -170,6 +196,7 @@ class DynaCut:
             stats=rewriter.stats,
             checkpoint_ns=checkpoint_ns,
             restore_ns=restore_ns,
+            lint=lint,
         )
         self.history.append(report)
         return report
@@ -186,6 +213,36 @@ class DynaCut:
             return [feature.entry]
         return list(feature.blocks)
 
+    def refine_feature(
+        self,
+        feature: FeatureBlocks,
+        blocks: list[BlockRecord] | None = None,
+        dispatcher_symbol: str | None = None,
+    ) -> RemovalClassification:
+        """Statically classify a feature's removal set (DynaLint).
+
+        ``dispatcher_symbol`` names any symbol inside the application's
+        dispatch function; the feature's unique blocks in that function
+        (its case arms) become the designated trap entries.  Without
+        it, the feature's first executed block is the only entry.
+        """
+        binary = self._module_binary(feature.module)
+        blocks = list(blocks) if blocks is not None else list(feature.blocks)
+        entries: list[BlockRecord] = []
+        if dispatcher_symbol is not None:
+            dispatcher_fn = enclosing_function(
+                binary, binary.symbol_address(dispatcher_symbol)
+            )
+            entries = [
+                block for block in blocks
+                if enclosing_function(binary, block.offset) == dispatcher_fn
+            ]
+        if not entries:
+            entries = (
+                [feature.entry] if feature.entry in blocks else blocks[:1]
+            )
+        return refine_removal_set(binary, blocks, entries)
+
     def disable_feature(
         self,
         root_pid: int,
@@ -193,6 +250,8 @@ class DynaCut:
         policy: TrapPolicy = TrapPolicy.TERMINATE,
         mode: BlockMode = BlockMode.ENTRY,
         redirect_symbol: str | None = None,
+        refine: bool = False,
+        dispatcher_symbol: str | None = None,
     ) -> RewriteReport:
         """Block ``feature`` in the running process tree.
 
@@ -200,11 +259,23 @@ class DynaCut:
         application's error-handler entry (must live in the same
         function as the dispatcher, per §3.2.2); inadvertent access
         then produces the app's error response instead of a crash.
+
+        ``refine=True`` runs the DynaLint static classifier over the
+        removal set first: suspect blocks (still reachable from kept
+        code) are dropped instead of being discovered by runtime traps,
+        provably-dead blocks may be wiped outright, and only the
+        designated entries (see :meth:`refine_feature`) keep traps.
         """
         module = feature.module
         binary = self._module_binary(module)
+        refinement: RemovalClassification | None = None
 
         if policy is TrapPolicy.REDIRECT:
+            if refine:
+                raise RewriteError(
+                    "the redirect policy already performs its own §3.2.2 "
+                    "dispatcher-arm selection; refine does not compose"
+                )
             if redirect_symbol is None:
                 raise RewriteError("redirect policy needs redirect_symbol")
             target_offset = binary.symbol_address(redirect_symbol)
@@ -246,10 +317,24 @@ class DynaCut:
         else:
             blocks = self._blocks_for_mode(feature, mode)
             redirect_blocks = []
+            if refine:
+                refinement = self.refine_feature(
+                    feature, blocks, dispatcher_symbol
+                )
+                blocks = refinement.removable
 
         def actions(rewriter: ImageRewriter) -> None:
             if mode is BlockMode.WIPE:
-                rewriter.wipe_blocks(module, blocks)
+                if refinement is not None:
+                    # wipe only what the analysis proved dead; the trap
+                    # entries guard it and keep their original tails
+                    rewriter.wipe_blocks(module, refinement.provably_dead)
+                    if refinement.trap_required:
+                        rewriter.block_entry_int3(
+                            module, refinement.trap_required
+                        )
+                else:
+                    rewriter.wipe_blocks(module, blocks)
             else:
                 rewriter.block_entry_int3(module, blocks)
             if policy is TrapPolicy.REDIRECT:
@@ -264,17 +349,25 @@ class DynaCut:
                 rewriter.install_trap_handler(POLICY_REDIRECT, entries)
                 return
             if policy is TrapPolicy.VERIFY:
+                # with a refined WIPE only the trap entries can heal; a
+                # wiped block's tail is gone, so its entry stays trapped
+                healable = (
+                    refinement.trap_required
+                    if refinement is not None and mode is BlockMode.WIPE
+                    else blocks
+                )
                 orig = [
                     (
                         self._block_abs(rewriter, module, block),
                         binary.read_bytes(block.offset, 1)[0],
                     )
-                    for block in blocks
+                    for block in healable
                 ]
                 rewriter.install_trap_handler(POLICY_VERIFY, orig_entries=orig)
             # TERMINATE: no handler — the default SIGTRAP disposition kills
 
         report = self.customize(root_pid, actions)
+        report.refinement = refinement
         self._disabled[(root_pid, feature.name)] = list(blocks)
         return report
 
@@ -308,32 +401,49 @@ class DynaCut:
         blocks: list[BlockRecord],
         wipe: bool = True,
         verify: bool = False,
+        refine: bool = False,
     ) -> RewriteReport:
         """Remove initialization-only blocks from the running tree.
 
         ``wipe=True`` (the paper's default for init code) overwrites
         every instruction; ``verify=True`` instead patches entry bytes
         and installs the verifier so misclassified blocks self-heal.
+        ``refine=True`` wipes only the statically provable interior of
+        the removal set and leaves a trap frontier where kept code
+        borders it (the auto-frontier mode of the DynaLint classifier).
         """
         binary = self._module_binary(module)
+        refinement: RemovalClassification | None = None
+        if refine:
+            refinement = refine_removal_set(binary, blocks)
 
         def actions(rewriter: ImageRewriter) -> None:
+            patchable = refinement.removable if refinement else blocks
             if verify:
-                rewriter.block_entry_int3(module, blocks)
+                rewriter.block_entry_int3(module, patchable)
                 orig = [
                     (
                         self._block_abs(rewriter, module, block),
                         binary.read_bytes(block.offset, 1)[0],
                     )
-                    for block in blocks
+                    for block in patchable
                 ]
                 rewriter.install_trap_handler(POLICY_VERIFY, orig_entries=orig)
             elif wipe:
-                rewriter.wipe_blocks(module, blocks)
+                if refinement is not None:
+                    rewriter.wipe_blocks(module, refinement.provably_dead)
+                    if refinement.trap_required:
+                        rewriter.block_entry_int3(
+                            module, refinement.trap_required
+                        )
+                else:
+                    rewriter.wipe_blocks(module, blocks)
             else:
-                rewriter.block_entry_int3(module, blocks)
+                rewriter.block_entry_int3(module, patchable)
 
-        return self.customize(root_pid, actions)
+        report = self.customize(root_pid, actions)
+        report.refinement = refinement
+        return report
 
     # ------------------------------------------------------------------
     # live re-randomization (§5 direction)

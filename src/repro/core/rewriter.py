@@ -104,6 +104,9 @@ class ImageRewriter:
         self.checkpoint = checkpoint
         self.cost_model = cost_model
         self.stats = RewriteStats()
+        #: trap policies configured this session (DynaLint consults this
+        #: to decide whether the post-rewrite lint should run)
+        self.policies_installed: set[int] = set()
 
     # ------------------------------------------------------------------
     # module resolution
@@ -542,6 +545,7 @@ class ImageRewriter:
             )
 
         placements = []
+        self.policies_installed.add(policy)
         for image in self.checkpoint.processes:
             base = self.existing_handler_base(image, library)
             if base is None:

@@ -1,0 +1,130 @@
+"""Tests for interprocedural call-graph recovery."""
+
+from __future__ import annotations
+
+from repro.analysis import build_callgraph, owned_functions
+from repro.tracing import BlockRecord
+
+from .helpers import build_asm, build_minic
+
+CALLS = """
+func helper(x) { return x + 1; }
+func outer(x) { return helper(x) * 2; }
+func main() { return outer(3); }
+"""
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        image = build_minic(CALLS, "calls", with_libc=False)
+        graph = build_callgraph(image)
+        assert "helper" in graph.callees("outer")
+        assert "outer" in graph.callees("main")
+        assert "outer" in graph.callers("helper")
+
+    def test_function_of(self):
+        image = build_minic(CALLS, "fnof", with_libc=False)
+        graph = build_callgraph(image)
+        start = image.symbol_address("helper")
+        assert graph.function_of(start) == "helper"
+        assert graph.function_of(start + 1) == "helper"
+
+    def test_reachable_from(self):
+        image = build_minic(CALLS, "reach", with_libc=False)
+        graph = build_callgraph(image)
+        reach = graph.reachable_from({"main"})
+        assert {"main", "outer", "helper"} <= reach
+
+    def test_unreachable_function_not_reached(self):
+        image = build_minic(
+            "func island() { return 7; }\nfunc main() { return 0; }",
+            "island", with_libc=False,
+        )
+        graph = build_callgraph(image)
+        assert "island" not in graph.reachable_from({"main"})
+        assert "island" in graph.functions
+
+    def test_plt_calls_resolve_to_import(self):
+        image = build_minic(
+            'extern func strlen;\nfunc main() { return strlen("hi"); }',
+            "pltcall",
+        )
+        graph = build_callgraph(image)
+        assert "strlen" in graph.callees("main")
+        sites = [s for s in graph.sites if s.callee == "strlen"]
+        assert sites and all(s.kind == "plt" for s in sites)
+
+    def test_indirect_call_site_recorded(self):
+        image = build_asm(
+            """
+            .section text
+            .global _start
+            .global target
+            _start:
+                lea r1, target
+                callr r1
+                hlt
+            target:
+                ret
+            """,
+            "indirect",
+        )
+        graph = build_callgraph(image)
+        kinds = {site.kind for site in graph.sites}
+        assert "indirect" in kinds
+        site = next(s for s in graph.sites if s.kind == "indirect")
+        assert site.callee is None and site.target is None
+
+    def test_call_sites_into(self):
+        image = build_minic(CALLS, "sites", with_libc=False)
+        graph = build_callgraph(image)
+        sites = graph.call_sites_into("helper")
+        assert len(sites) == 1
+        assert sites[0].caller == "outer"
+
+
+class TestOwnedFunctions:
+    def test_helper_owned_when_all_callers_removed(self):
+        image = build_minic(CALLS, "owned", with_libc=False)
+        graph = build_callgraph(image)
+        outer = graph.functions["outer"]
+        helper = graph.functions["helper"]
+        removed_starts = {outer.start, helper.start}
+        removed_bytes = set(range(outer.start, outer.end)) | set(
+            range(helper.start, helper.end)
+        )
+        owned = owned_functions(graph, removed_starts, removed_bytes)
+        # helper's only call site (in outer) is removed -> owned;
+        # outer is still called from kept main -> not owned
+        assert "helper" in owned
+        assert "outer" not in owned
+
+    def test_helper_not_owned_with_live_caller(self):
+        image = build_minic(CALLS, "liveown", with_libc=False)
+        graph = build_callgraph(image)
+        helper = graph.functions["helper"]
+        owned = owned_functions(
+            graph, {helper.start}, set(range(helper.start, helper.end))
+        )
+        # outer still calls helper from kept code
+        assert "helper" not in owned
+
+
+def test_owned_matches_block_records():
+    """The rewriter feeds BlockRecord-shaped sets; byte sets line up."""
+    image = build_minic(CALLS, "recs", with_libc=False)
+    graph = build_callgraph(image)
+    records = [
+        BlockRecord("recs", node.start, node.end - node.start)
+        for name, node in graph.functions.items()
+        if name in ("outer", "helper")
+    ]
+    removed_bytes = {
+        offset
+        for record in records
+        for offset in range(record.offset, record.offset + record.size)
+    }
+    owned = owned_functions(
+        graph, {r.offset for r in records}, removed_bytes
+    )
+    assert "helper" in owned

@@ -1,0 +1,89 @@
+"""Tests for the dominator analysis (repro.analysis.dominators)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    VIRTUAL_ROOT,
+    collectively_dominated,
+    compute_dominators,
+)
+
+#           0
+#          / \
+#         1   2
+#          \ /
+#           3 -> 4
+DIAMOND = {0: (1, 2), 1: (3,), 2: (3,), 3: (4,), 4: ()}
+
+
+class TestDominatorTree:
+    def test_diamond_join_dominated_by_head(self):
+        tree = compute_dominators(DIAMOND, [0])
+        assert tree.idom[3] == 0       # neither arm dominates the join
+        assert tree.idom[1] == 0
+        assert tree.idom[4] == 3
+
+    def test_dominates_is_reflexive_and_transitive(self):
+        tree = compute_dominators(DIAMOND, [0])
+        assert tree.dominates(3, 3)
+        assert tree.dominates(0, 4)    # 0 idom 3 idom 4
+        assert not tree.dominates(1, 3)
+
+    def test_dominators_of_chain(self):
+        tree = compute_dominators(DIAMOND, [0])
+        assert tree.dominators_of(4) == [4, 3, 0]
+        assert tree.dominators_of(99) == []
+
+    def test_dominated_by(self):
+        tree = compute_dominators(DIAMOND, [0])
+        assert tree.dominated_by(3) == {3, 4}
+        assert tree.dominated_by(0) == {0, 1, 2, 3, 4}
+
+    def test_unreachable_blocks_absent(self):
+        edges = {0: (1,), 5: (6,), 6: ()}
+        tree = compute_dominators(edges, [0])
+        assert 1 in tree
+        assert 5 not in tree and 6 not in tree
+
+    def test_multiple_roots_use_virtual_root(self):
+        # 10 and 20 both reach 30 independently: no real dominator
+        edges = {10: (30,), 20: (30,), 30: ()}
+        tree = compute_dominators(edges, [10, 20])
+        assert tree.root == VIRTUAL_ROOT
+        assert tree.idom[30] == VIRTUAL_ROOT
+        assert tree.dominates(VIRTUAL_ROOT, 30)
+        assert not tree.dominates(10, 30)
+
+    def test_no_roots(self):
+        tree = compute_dominators(DIAMOND, [])
+        assert tree.idom == {}
+
+    def test_loop(self):
+        edges = {0: (1,), 1: (2,), 2: (1, 3), 3: ()}
+        tree = compute_dominators(edges, [0])
+        assert tree.idom[1] == 0
+        assert tree.idom[2] == 1
+        assert tree.idom[3] == 2
+
+
+class TestCollectiveDomination:
+    def test_singleton_cutset_matches_dominator_tree(self):
+        tree = compute_dominators(DIAMOND, [0])
+        for cut in (1, 2, 3):
+            expected = tree.dominated_by(cut) - {cut}
+            assert collectively_dominated(DIAMOND, [0], {cut}) == expected
+
+    def test_two_guards_cut_the_join(self):
+        # both arms guarded: the join and everything past it is covered
+        assert collectively_dominated(DIAMOND, [0], {1, 2}) == {3, 4}
+
+    def test_one_open_arm_leaks(self):
+        assert collectively_dominated(DIAMOND, [0], {1}) == set()
+
+    def test_unreachable_not_reported(self):
+        edges = {0: (1,), 7: (8,), 8: ()}
+        assert collectively_dominated(edges, [0], {1}) == set()
+
+    def test_cutset_members_excluded(self):
+        covered = collectively_dominated(DIAMOND, [0], {3})
+        assert 3 not in covered and covered == {4}

@@ -1,0 +1,87 @@
+"""Tests for PLT-stub analysis (repro.analysis.plt)."""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    executed_plt_entries,
+    plt_entries_in_blocks,
+    plt_entry_at,
+)
+from repro.apps import REDIS_PORT, stage_redis
+from repro.binfmt.linker import PLT_STUB_SIZE
+from repro.core import DynaCut
+from repro.kernel import Kernel
+from repro.tracing import BlockRecord, BlockTracer
+from repro.workloads import RedisClient
+
+
+class TestStubDiscovery:
+    def test_every_import_has_a_stub(self, redis_binary):
+        assert redis_binary.plt_entries
+        assert "libc.so" in redis_binary.needed
+        # one stub per imported function, packed at stride PLT_STUB_SIZE
+        stubs = sorted(redis_binary.plt_entries.values())
+        for prev, nxt in zip(stubs, stubs[1:]):
+            assert nxt - prev == PLT_STUB_SIZE
+
+    def test_stubs_live_in_plt_segment(self, redis_binary):
+        seg = next(s for s in redis_binary.segments if s.name == "plt")
+        for stub in redis_binary.plt_entries.values():
+            assert seg.vaddr <= stub
+            assert stub + PLT_STUB_SIZE <= seg.vaddr + len(seg.data)
+
+    def test_plt_entry_at_covers_whole_stub(self, redis_binary):
+        for name, stub in redis_binary.plt_entries.items():
+            for offset in (stub, stub + 1, stub + PLT_STUB_SIZE - 1):
+                assert plt_entry_at(redis_binary, offset) == name
+            assert plt_entry_at(redis_binary, stub - 1) != name
+            assert plt_entry_at(redis_binary, stub + PLT_STUB_SIZE) != name
+
+    def test_plt_entry_at_outside_plt(self, redis_binary):
+        text = next(s for s in redis_binary.segments if s.name == "text")
+        assert plt_entry_at(redis_binary, text.vaddr) is None
+
+    def test_entries_in_blocks(self, redis_binary):
+        name, stub = next(iter(redis_binary.plt_entries.items()))
+        partial = BlockRecord(redis_binary.name, stub + 2, 4)
+        assert name in plt_entries_in_blocks(redis_binary, [partial])
+        text = next(s for s in redis_binary.segments if s.name == "text")
+        elsewhere = BlockRecord(redis_binary.name, text.vaddr, 8)
+        assert plt_entries_in_blocks(redis_binary, [elsewhere]) == set()
+
+
+class TestExecutedEntries:
+    def _traced_entries(self, kernel, proc, client, binary):
+        tracer = BlockTracer(kernel, proc).attach()
+        for command in ("PING", "SET k v", "GET k"):
+            client.command(command)
+        trace = tracer.finish()
+        return executed_plt_entries(binary, trace)
+
+    def test_serving_traffic_executes_plt_stubs(self, redis_binary):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        executed = self._traced_entries(kernel, proc, client, redis_binary)
+        assert executed
+        assert executed <= set(redis_binary.plt_entries)
+
+    def test_discovery_survives_rerandomization(self, redis_binary):
+        """PLT stubs are link-time offsets in the *executable*; moving
+        libc must change neither the stub map nor the executed-entry
+        metric, and the process must keep serving through its stubs."""
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        before = dict(redis_binary.plt_entries)
+
+        dynacut = DynaCut(kernel)
+        dynacut.rerandomize_library(proc.pid, "libc.so")
+        proc = dynacut.restored_process(proc.pid)
+
+        assert redis_binary.plt_entries == before
+        for name, stub in before.items():
+            assert plt_entry_at(redis_binary, stub) == name
+        executed = self._traced_entries(kernel, proc, client, redis_binary)
+        assert executed
+        assert executed <= set(before)

@@ -1,0 +1,220 @@
+"""End-to-end tests for static removal-set refinement in DynaCut.
+
+The scenario is the §3.2.2 over-removal hazard: a *thin* wanted
+profile (two plain GETs) against a PUT/DELETE undesired profile makes
+TraceDiff claim far more of Lighttpd than the DAV feature really owns.
+Unrefined verify-mode removal then heals dozens of blocks at runtime;
+with DynaLint refinement the suspects are never removed and only the
+enforced dispatcher arms trap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import BlockClass
+from repro.apps import LIGHTTPD_PORT, stage_lighttpd
+from repro.apps.httpd_lighttpd import LIGHTTPD_BINARY, READY_LINE
+from repro.core import BlockMode, DynaCut, TraceDiff, TrapPolicy
+from repro.core.rewriter import RewriteError
+from repro.core.verifier import read_verifier_log
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import HttpClient
+
+DISPATCHER = "lh_handle_request"
+
+
+def thin_profile():
+    """(kernel, proc, feature) with a deliberately thin wanted trace."""
+    kernel = Kernel()
+    proc = stage_lighttpd(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text(),
+                     max_instructions=5_000_000)
+    tracer.nudge_dump()
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+    kernel.fs.write_file("/var/www/about.html", "<p>about</p>")
+    client.get("/")
+    client.get("/about.html")
+    wanted = tracer.nudge_dump()
+    client.put("/probe.txt", "x")
+    client.delete("/probe.txt")
+    undesired = tracer.finish()
+    feature = TraceDiff(LIGHTTPD_BINARY).feature_blocks(
+        "dav-write", [wanted], [undesired]
+    )
+    return kernel, proc, feature
+
+
+def exercise(client):
+    return [
+        client.get("/").status,
+        client.get("/about.html").status,
+        client.get("/missing.html").status,
+        client.head("/").status,
+        client.options("/").status,
+        client.post("/echo", "abcd").status,
+    ]
+
+
+def _run(refine: bool):
+    kernel, proc, feature = thin_profile()
+    dynacut = DynaCut(kernel)
+    report = dynacut.disable_feature(
+        proc.pid, feature, policy=TrapPolicy.VERIFY, mode=BlockMode.ALL,
+        refine=refine, dispatcher_symbol=DISPATCHER if refine else None,
+    )
+    proc = dynacut.restored_process(proc.pid)
+    statuses = exercise(HttpClient(kernel, LIGHTTPD_PORT))
+    log = read_verifier_log(kernel, proc)
+    return report, statuses, len(log.trapped_addresses)
+
+
+class TestRefinedDisable:
+    def test_refinement_reduces_trap_restores(self):
+        base_report, base_statuses, base_traps = _run(refine=False)
+        ref_report, ref_statuses, ref_traps = _run(refine=True)
+
+        # behaviour must be identical...
+        assert ref_statuses == base_statuses
+        # ...but far fewer healed blocks: suspects were never removed
+        assert ref_traps < base_traps
+
+        refinement = ref_report.refinement
+        assert base_report.refinement is None
+        assert refinement is not None
+        assert refinement.suspect                 # the thin profile lied
+        assert refinement.counts["trap_required"] >= 1
+        # the refined session patches strictly fewer blocks
+        assert base_report.stats.blocks_patched > \
+            ref_report.stats.blocks_patched
+
+    def test_refined_lint_runs_and_is_clean(self):
+        report, __, ___ = _run(refine=True)
+        assert report.lint is not None
+        assert report.lint.ok, report.lint.summary()
+
+    def test_reenable_restores_byte_identity(self):
+        kernel, proc, feature = thin_profile()
+        dynacut = DynaCut(kernel)
+        dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.VERIFY, mode=BlockMode.ALL,
+            refine=True, dispatcher_symbol=DISPATCHER,
+        )
+        dynacut.enable_feature(
+            dynacut.restored_process(proc.pid).pid, feature
+        )
+        proc = dynacut.restored_process(proc.pid)
+        binary = kernel.binaries[LIGHTTPD_BINARY]
+        module = next(m for m in proc.modules if m.name == LIGHTTPD_BINARY)
+        for seg in binary.segments:
+            if seg.name not in ("text", "plt") or not seg.data:
+                continue
+            live = proc.memory.read(
+                module.load_base + seg.vaddr, len(seg.data)
+            )
+            assert bytes(live) == seg.data
+        assert exercise(HttpClient(kernel, LIGHTTPD_PORT))[0] == 200
+
+    def test_refine_does_not_compose_with_redirect(self):
+        kernel, proc, feature = thin_profile()
+        dynacut = DynaCut(kernel)
+        with pytest.raises(RewriteError):
+            dynacut.disable_feature(
+                proc.pid, feature, policy=TrapPolicy.REDIRECT,
+                refine=True, dispatcher_symbol=DISPATCHER,
+            )
+
+    def test_refine_feature_classification(self):
+        kernel, __, feature = thin_profile()
+        dynacut = DynaCut(kernel)
+        refinement = dynacut.refine_feature(
+            feature, dispatcher_symbol=DISPATCHER
+        )
+        counts = refinement.counts
+        assert counts["provably_dead"] >= 1
+        assert counts["trap_required"] >= 1
+        assert counts["suspect"] >= 1
+        total = sum(counts.values())
+        assert total == feature.count
+        for record in refinement.provably_dead:
+            assert refinement.verdict_of(record) is BlockClass.PROVABLY_DEAD
+
+
+class TestLintModes:
+    def _profiled(self):
+        return thin_profile()
+
+    def test_lint_off(self):
+        kernel, proc, feature = self._profiled()
+        dynacut = DynaCut(kernel, lint_mode="off")
+        report = dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.VERIFY
+        )
+        assert report.lint is None
+
+    def test_lint_verify_mode_skips_terminate_policy(self):
+        kernel, proc, feature = self._profiled()
+        dynacut = DynaCut(kernel)        # lint_mode="verify"
+        report = dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.TERMINATE
+        )
+        assert report.lint is None
+
+    def test_lint_always(self):
+        kernel, proc, feature = self._profiled()
+        dynacut = DynaCut(kernel, lint_mode="always")
+        report = dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.TERMINATE
+        )
+        assert report.lint is not None
+        assert report.lint.ok
+
+
+class TestInitRemovalLint:
+    """The fig7-style init-removal image must lint clean: its wipe
+    ranges are byte-granular and legitimately start mid-block."""
+
+    def _init_profile(self):
+        from repro.core import init_only_blocks
+
+        kernel = Kernel()
+        proc = stage_lighttpd(kernel, run_to_ready=False)
+        tracer = BlockTracer(kernel, proc).attach()
+        kernel.run_until(lambda: READY_LINE in proc.stdout_text(),
+                         max_instructions=5_000_000)
+        init_trace = tracer.nudge_dump()
+        client = HttpClient(kernel, LIGHTTPD_PORT)
+        client.get("/")
+        client.get("/missing.html")
+        client.post("/echo", "abcd")
+        serving = tracer.finish()
+        report = init_only_blocks(init_trace, serving, LIGHTTPD_BINARY)
+        assert report.removable_count > 0
+        return kernel, proc, report
+
+    def test_init_wipe_image_lints_clean(self):
+        kernel, proc, report = self._init_profile()
+        dynacut = DynaCut(kernel, lint_mode="always")
+        out = dynacut.remove_init_code(
+            proc.pid, LIGHTTPD_BINARY, list(report.init_only), wipe=True
+        )
+        assert out.lint is not None
+        assert out.lint.ok, out.lint.summary()
+        client = HttpClient(kernel, LIGHTTPD_PORT)
+        assert client.get("/").status == 200
+
+    def test_init_refine_auto_frontier(self):
+        kernel, proc, report = self._init_profile()
+        dynacut = DynaCut(kernel, lint_mode="always")
+        out = dynacut.remove_init_code(
+            proc.pid, LIGHTTPD_BINARY, list(report.init_only),
+            wipe=True, refine=True,
+        )
+        assert out.refinement is not None
+        assert not out.refinement.suspect      # auto-frontier: no suspects
+        assert out.refinement.counts["provably_dead"] >= 1
+        assert out.lint is not None and out.lint.ok, out.lint.summary()
+        client = HttpClient(kernel, LIGHTTPD_PORT)
+        assert client.get("/").status == 200

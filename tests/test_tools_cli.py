@@ -94,3 +94,49 @@ class TestCritCli:
         out = capsys.readouterr().out
         assert "1 VMAs" in out
         assert "r-x app" in out
+
+
+class TestDynalintCli:
+    def test_demo_export_lint_roundtrip(self, tmp_path, capsys):
+        from repro.tools import dynalint_cli
+
+        export = tmp_path / "img"
+        code = dynalint_cli.main(["demo", "--export", str(export)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dynalint: image clean" in out
+        assert (export / "inventory.img").exists()
+
+        code = dynalint_cli.main(["lint", str(export), "--app", "redis"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dynalint: image clean" in out
+
+    def test_lint_flags_corrupted_export(self, tmp_path, capsys):
+        from repro.tools import dynalint_cli
+
+        export = tmp_path / "img"
+        assert dynalint_cli.main(["demo", "--export", str(export)]) == 0
+        capsys.readouterr()
+
+        # scribble a non-int3 byte over the server's dumped text pages
+        from repro.criu.images import CheckpointImage
+        from repro.tools.dynalint_cli import _HostFS
+
+        host = _HostFS(export)
+        checkpoint = CheckpointImage.load(host, ".")
+        image = checkpoint.root()
+        text_vma = next(
+            v for v in image.mm.vmas
+            if v.file_path == "miniredis" and v.executable
+        )
+        pristine = image.read_memory(text_vma.start + 64, 1)[0]
+        image.write_memory(
+            text_vma.start + 64, bytes([pristine ^ 0x41])
+        )
+        checkpoint.save(host, ".")
+
+        code = dynalint_cli.main(["lint", str(export), "--app", "redis"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DL" in out
