@@ -31,6 +31,7 @@ from .tracing import BlockTracer, CoverageTrace, merge_traces
 from .core import (
     BlockMode,
     CoverageGraph,
+    CustomizationAborted,
     DynaCut,
     FeatureBlocks,
     ImageRewriter,
@@ -51,6 +52,7 @@ __all__ = [
     "BlockTracer",
     "CoverageGraph",
     "CoverageTrace",
+    "CustomizationAborted",
     "DynaCut",
     "FeatureBlocks",
     "ImageRewriter",

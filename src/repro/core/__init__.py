@@ -24,6 +24,12 @@ from .rewriter import (
     RewriteStats,
 )
 from .dynacut import BlockMode, DynaCut, RewriteReport, TrapPolicy
+from .transaction import (
+    CustomizationAborted,
+    JournalEntry,
+    RollbackFailed,
+    TxJournal,
+)
 from .baselines import (
     DebloatResult,
     apply_debloat,
@@ -56,6 +62,7 @@ __all__ = [
     "serving_allowlist",
     "specialization_report",
     "CoverageGraph",
+    "CustomizationAborted",
     "DEFAULT_LIBRARY_SUFFIXES",
     "DebloatResult",
     "DynaCut",
@@ -65,6 +72,7 @@ __all__ = [
     "HandlerPlacement",
     "ImageRewriter",
     "InitPhaseReport",
+    "JournalEntry",
     "POLICY_REDIRECT",
     "POLICY_TERMINATE",
     "POLICY_VERIFY",
@@ -72,7 +80,9 @@ __all__ = [
     "RewriteError",
     "RewriteReport",
     "RewriteStats",
+    "RollbackFailed",
     "TraceDiff",
+    "TxJournal",
     "TrapPolicy",
     "VerificationReport",
     "apply_debloat",

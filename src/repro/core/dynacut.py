@@ -23,22 +23,41 @@ checkpoint, code patch, signal-handler insertion, restore.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+from .. import faults
 from ..analysis.lint import LintReport, lint_checkpoint
 from ..analysis.reachability import RemovalClassification, refine_removal_set
 from ..binfmt.self_format import SelfImage
+from ..faults import PermanentFault, TransientFault
 from ..kernel.kernel import Kernel
 from ..kernel.process import Process
 from ..tracing.drcov import BlockRecord
 from ..criu.checkpoint import checkpoint_tree
 from ..criu.costmodel import CriuCostModel, DEFAULT_COST_MODEL
+from ..criu.images import CheckpointImage
 from ..criu.restore import restore_tree
 from .rewriter import ImageRewriter, RewriteError, RewriteStats
 from .sighandler import POLICY_REDIRECT, POLICY_TERMINATE, POLICY_VERIFY
 from .tracediff import FeatureBlocks
+from .transaction import (
+    PHASE_BEGIN,
+    PHASE_CHECKPOINTED,
+    PHASE_COMMITTED,
+    PHASE_LINTED,
+    PHASE_PRISTINE_SAVED,
+    PHASE_RESTORED,
+    PHASE_RETRYING,
+    PHASE_REWRITTEN,
+    PHASE_ROLLED_BACK,
+    PHASE_SAVED,
+    CustomizationAborted,
+    RollbackFailed,
+    TxJournal,
+)
 
 
 def enclosing_function(binary: SelfImage, offset: int) -> str | None:
@@ -97,6 +116,12 @@ class RewriteReport:
     lint: LintReport | None = None
     #: static removal-set refinement applied this session, if any
     refinement: RemovalClassification | None = None
+    #: transaction outcome: "committed" or "rolled-back"
+    outcome: str = "committed"
+    #: pipeline attempts consumed (>1 means transient faults were retried)
+    attempts: int = 1
+    #: True when the pristine image was restored instead of the rewrite
+    rolled_back: bool = False
 
     @property
     def patch_ns(self) -> int:
@@ -129,6 +154,16 @@ class RewriteReport:
 
 
 @dataclass
+class _TxState:
+    """What one customize attempt has put at risk so far."""
+
+    #: the original tree has been destroyed by the dump
+    tree_down: bool = False
+    #: deep copy of the unmutated checkpoint — the rollback source
+    pristine: CheckpointImage | None = None
+
+
+@dataclass
 class DynaCut:
     """The dynamic code customization framework."""
 
@@ -139,15 +174,25 @@ class DynaCut:
     #: "verify" (whenever the verifier policy is installed, the
     #: default), "always", or "off"
     lint_mode: str = "verify"
-    #: raise instead of restoring when the lint finds damage
+    #: roll back (instead of restoring) when the lint finds damage
     lint_strict: bool = False
+    #: pipeline attempts per customize() transaction; transient faults
+    #: retry up to this bound with capped exponential backoff
+    max_attempts: int = 3
     #: reports of every session run through this instance
     history: list[RewriteReport] = field(default_factory=list)
+    #: journal of the most recent customize() transaction
+    last_journal: TxJournal | None = None
     #: blocks actually patched per (root pid, feature name), so a later
     #: enable_feature restores exactly what disable_feature removed
     _disabled: dict[tuple[int, str], list[BlockRecord]] = field(
         default_factory=dict
     )
+
+    @property
+    def pristine_dir(self) -> str:
+        """Where the unmutated image copy lives during a transaction."""
+        return f"{self.image_dir.rstrip('/')}/pristine"
 
     # ------------------------------------------------------------------
     # generic session
@@ -157,39 +202,113 @@ class DynaCut:
         root_pid: int,
         actions: Callable[[ImageRewriter], None],
     ) -> RewriteReport:
-        """Checkpoint, apply ``actions`` to the image, restore."""
-        clock = self.kernel.clock_ns
+        """Checkpoint, apply ``actions`` to the image, restore — as a
+        journaled transaction.
+
+        The session either *commits* (the rewritten tree is live, the
+        report says how much it cost) or *rolls back*: on any failure —
+        a fault in the dump, the rewrite, the image save, a strict-lint
+        rejection, or the restore itself — the pristine checkpoint is
+        restored, the service keeps running unmodified, and
+        :class:`CustomizationAborted` is raised with the rolled-back
+        report attached.  Transient faults are retried up to
+        :attr:`max_attempts` times with capped deterministic backoff
+        charged to the virtual clock.
+        """
+        journal = TxJournal(self.kernel.fs, self.image_dir)
+        self.last_journal = journal
+        failures = 0
+        while True:
+            attempt = failures + 1
+            state = _TxState()
+            journal.record(PHASE_BEGIN, attempt, self.kernel.clock_ns)
+            try:
+                report = self._run_attempt(
+                    root_pid, actions, journal, attempt, state
+                )
+            except TransientFault as fault:
+                failures += 1
+                self._rollback(journal, attempt, state, note=str(fault))
+                if failures >= self.max_attempts:
+                    self._abort(
+                        journal, attempt, state, fault,
+                        f"transient-fault retry budget exhausted "
+                        f"({self.max_attempts} attempts)",
+                    )
+                backoff = self.cost_model.retry_backoff(failures)
+                self.kernel.clock_ns += backoff
+                journal.record(
+                    PHASE_RETRYING, attempt, self.kernel.clock_ns,
+                    note=f"backoff={backoff}ns",
+                )
+                continue
+            except Exception as exc:
+                # permanent faults, rewrite/lint/image errors: not
+                # retryable — restore the pristine tree and abort
+                self._rollback(journal, attempt, state, note=str(exc))
+                self._abort(journal, attempt, state, exc, "permanent failure")
+            report.attempts = attempt
+            journal.record(PHASE_COMMITTED, attempt, self.kernel.clock_ns)
+            self.history.append(report)
+            return report
+
+    def _run_attempt(
+        self,
+        root_pid: int,
+        actions: Callable[[ImageRewriter], None],
+        journal: TxJournal,
+        attempt: int,
+        state: _TxState,
+    ) -> RewriteReport:
+        kernel = self.kernel
+        clock = kernel.clock_ns
         checkpoint = checkpoint_tree(
-            self.kernel,
+            kernel,
             root_pid,
             image_dir=self.image_dir,
             dump_exec_pages=True,
             cost_model=self.cost_model,
         )
-        checkpoint_ns = self.kernel.clock_ns - clock
+        # from here on the original tree is gone: every failure path
+        # below must restore the pristine copy to keep the service up
+        state.tree_down = True
+        state.pristine = copy.deepcopy(checkpoint)
+        checkpoint_ns = kernel.clock_ns - clock
+        journal.record(PHASE_CHECKPOINTED, attempt, kernel.clock_ns)
 
-        rewriter = ImageRewriter(self.kernel, checkpoint, self.cost_model)
+        state.pristine.save(kernel.fs, self.pristine_dir)
+        journal.record(PHASE_PRISTINE_SAVED, attempt, kernel.clock_ns)
+
+        rewriter = ImageRewriter(kernel, checkpoint, self.cost_model)
         actions(rewriter)
+        journal.record(PHASE_REWRITTEN, attempt, kernel.clock_ns)
+
         # overwrite the on-disk image files with the rewritten state, so
-        # offline tooling (crit, dynalint) sees what will be restored
-        checkpoint.save(self.kernel.fs, self.image_dir)
+        # offline tooling (crit, dynalint) sees what will be restored;
+        # the pristine copy saved above survives this
+        checkpoint.save(kernel.fs, self.image_dir)
+        journal.record(PHASE_SAVED, attempt, kernel.clock_ns)
 
         lint = None
         if self.lint_mode == "always" or (
             self.lint_mode == "verify"
             and POLICY_VERIFY in rewriter.policies_installed
         ):
-            lint = lint_checkpoint(self.kernel, checkpoint)
+            lint = lint_checkpoint(kernel, checkpoint)
+            faults.trip("lint.strict_reject")
             if self.lint_strict and not lint.ok:
                 raise RewriteError(
                     "dynalint rejected the rewritten image:\n" + lint.summary()
                 )
+            journal.record(PHASE_LINTED, attempt, kernel.clock_ns)
 
-        clock = self.kernel.clock_ns
-        restored = restore_tree(self.kernel, checkpoint, self.cost_model)
-        restore_ns = self.kernel.clock_ns - clock
+        clock = kernel.clock_ns
+        restored = restore_tree(kernel, checkpoint, self.cost_model)
+        state.tree_down = False
+        restore_ns = kernel.clock_ns - clock
+        journal.record(PHASE_RESTORED, attempt, kernel.clock_ns)
 
-        report = RewriteReport(
+        return RewriteReport(
             pids=[proc.pid for proc in restored],
             image_pages=checkpoint.total_pages(),
             image_bytes=checkpoint.total_bytes(),
@@ -198,8 +317,79 @@ class DynaCut:
             restore_ns=restore_ns,
             lint=lint,
         )
+
+    def _rollback(
+        self, journal: TxJournal, attempt: int, state: _TxState, note: str = ""
+    ) -> None:
+        """Put the pristine tree back after a failed attempt."""
+        if not state.tree_down:
+            # the dump failed before destroying anything: checkpoint_tree
+            # thawed the frozen tree, so the service never stopped
+            journal.record(
+                PHASE_ROLLED_BACK, attempt, self.kernel.clock_ns,
+                note=f"aborted before mutation; {note}",
+            )
+            return
+        assert state.pristine is not None
+        failures = 0
+        while True:
+            try:
+                restore_tree(self.kernel, state.pristine, self.cost_model)
+                break
+            except TransientFault as fault:
+                failures += 1
+                if failures >= self.max_attempts:
+                    journal.record(
+                        PHASE_ROLLED_BACK, attempt, self.kernel.clock_ns,
+                        note=f"ROLLBACK FAILED: {fault}",
+                    )
+                    raise RollbackFailed(
+                        f"pristine restore kept failing: {fault}"
+                    ) from fault
+                self.kernel.clock_ns += self.cost_model.retry_backoff(failures)
+            except PermanentFault as fault:
+                journal.record(
+                    PHASE_ROLLED_BACK, attempt, self.kernel.clock_ns,
+                    note=f"ROLLBACK FAILED: {fault}",
+                )
+                raise RollbackFailed(
+                    f"pristine restore hit a permanent fault: {fault}"
+                ) from fault
+        state.tree_down = False
+        # resurface the pristine images as the working set — modelled as
+        # a local replay of the durable pristine/ copy (no new payload
+        # I/O), hence shielded from injection
+        with faults.shielded():
+            state.pristine.save(self.kernel.fs, self.image_dir)
+        journal.record(
+            PHASE_ROLLED_BACK, attempt, self.kernel.clock_ns, note=note
+        )
+
+    def _abort(
+        self,
+        journal: TxJournal,
+        attempt: int,
+        state: _TxState,
+        cause: Exception,
+        why: str,
+    ) -> None:
+        """Record the rolled-back report and raise CustomizationAborted."""
+        pristine = state.pristine
+        report = RewriteReport(
+            pids=list(pristine.pids) if pristine is not None else [],
+            image_pages=pristine.total_pages() if pristine is not None else 0,
+            image_bytes=pristine.total_bytes() if pristine is not None else 0,
+            stats=RewriteStats(),
+            outcome="rolled-back",
+            attempts=attempt,
+            rolled_back=True,
+        )
         self.history.append(report)
-        return report
+        raise CustomizationAborted(
+            f"customize rolled back after {attempt} attempt(s) ({why}): "
+            f"{cause}",
+            report,
+        ) from cause
 
     # ------------------------------------------------------------------
     # feature customization
@@ -383,13 +573,18 @@ class DynaCut:
         session patched when one is on record; otherwise falls back to
         the mode-derived selection.
         """
-        recorded = self._disabled.pop((root_pid, feature.name), None)
+        recorded = self._disabled.get((root_pid, feature.name))
         blocks = recorded if recorded else self._blocks_for_mode(feature, mode)
 
         def actions(rewriter: ImageRewriter) -> None:
             rewriter.restore_blocks(feature.module, blocks)
 
-        return self.customize(root_pid, actions)
+        # drop the disabled record only once the transaction commits: an
+        # aborted re-enable leaves the feature blocked, and the record
+        # must survive for the retry
+        report = self.customize(root_pid, actions)
+        self._disabled.pop((root_pid, feature.name), None)
+        return report
 
     # ------------------------------------------------------------------
     # init-code removal

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import faults
 from ..binfmt.self_format import DynRelocType, PAGE_SIZE, SelfImage, page_align
 from ..isa.instructions import INT3_OPCODE
 from ..kernel.kernel import Kernel
@@ -190,6 +191,9 @@ class ImageRewriter:
         return restored
 
     def _write_code(self, image: ProcessImage, address: int, data: bytes) -> None:
+        faults.trip(
+            "rewriter.write_code", detail=f"pid={image.pid} @{address:#x}"
+        )
         try:
             image.write_memory(address, data)
         except ImageError as exc:
@@ -437,6 +441,7 @@ class ImageRewriter:
         maps — exactly how the paper loads the handler library and
         performs its GOT/PLT relocations against the runtime libc base.
         """
+        faults.trip("rewriter.inject_library", detail=f"pid={image.pid}")
         span = page_align(max(seg.end for seg in library.segments))
         if base is None:
             base = self._find_free_base(image, span)

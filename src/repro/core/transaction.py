@@ -1,0 +1,148 @@
+"""Journaled-transaction support for :meth:`DynaCut.customize`.
+
+A customize session is a transaction over two resources: the live
+process tree (destroyed by the dump, recreated by the restore) and the
+on-disk image directory.  The journal records which phase each attempt
+reached so an operator — or a recovery tool reading the image
+directory after a crash — can tell exactly how far the rewrite got:
+
+* ``begin``          attempt started, tree still running
+* ``checkpointed``   tree dumped (and destroyed); working images on disk
+* ``pristine-saved`` pristine copy durable under ``<image_dir>/pristine/``
+* ``rewritten``      in-memory images mutated by the session's actions
+* ``saved``          rewritten images overwrote the working directory
+* ``linted``         DynaLint accepted the rewritten image
+* ``restored``       rewritten tree is live again
+* ``committed``      transaction done; report appended to history
+* ``rolled-back``    pristine tree restored after a failure
+* ``retrying``       transient fault; backing off before the next attempt
+
+Journal appends are modelled as atomic (a single sector write, the
+standard write-ahead-logging assumption), so they are shielded from
+fs-level fault injection; everything else in the pipeline is fair game.
+
+On any mid-transaction failure the engine restores the *in-memory*
+pristine checkpoint.  The on-disk layout guarantees a pristine copy
+also exists at all times: the working directory holds pristine images
+from ``checkpointed`` until ``saved`` overwrites them, and the
+``pristine/`` subdirectory is durable from ``pristine-saved`` on —
+the ``saved`` phase is only entered after ``pristine-saved``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import faults
+from .rewriter import RewriteError
+
+PHASE_BEGIN = "begin"
+PHASE_CHECKPOINTED = "checkpointed"
+PHASE_PRISTINE_SAVED = "pristine-saved"
+PHASE_REWRITTEN = "rewritten"
+PHASE_SAVED = "saved"
+PHASE_LINTED = "linted"
+PHASE_RESTORED = "restored"
+PHASE_COMMITTED = "committed"
+PHASE_ROLLED_BACK = "rolled-back"
+PHASE_RETRYING = "retrying"
+
+#: phase order within one attempt (terminal phases excluded)
+ATTEMPT_PHASES = (
+    PHASE_BEGIN,
+    PHASE_CHECKPOINTED,
+    PHASE_PRISTINE_SAVED,
+    PHASE_REWRITTEN,
+    PHASE_SAVED,
+    PHASE_LINTED,
+    PHASE_RESTORED,
+)
+
+JOURNAL_FILE = "journal.txt"
+
+
+class CustomizationAborted(RewriteError):
+    """A customize transaction rolled back instead of committing.
+
+    Subclasses :class:`RewriteError` so callers that treated any
+    rewrite failure as fatal keep working; carries the rolled-back
+    :class:`~repro.core.dynacut.RewriteReport` for the ones that want
+    the outcome breakdown.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class RollbackFailed(RewriteError):
+    """Rollback itself could not restore the pristine tree.
+
+    Only reachable when faults are armed to keep firing through the
+    rollback path's own retries — the service is genuinely down.
+    """
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    phase: str
+    attempt: int
+    clock_ns: int
+    note: str = ""
+
+    def line(self) -> str:
+        return f"{self.attempt}\t{self.phase}\t{self.clock_ns}\t{self.note}"
+
+    @classmethod
+    def parse(cls, line: str) -> "JournalEntry":
+        attempt, phase, clock_ns, note = line.split("\t", 3)
+        return cls(phase, int(attempt), int(clock_ns), note)
+
+
+@dataclass
+class TxJournal:
+    """The per-session transaction journal, persisted in the kernel fs."""
+
+    fs: object
+    image_dir: str
+    entries: list[JournalEntry] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return f"{self.image_dir.rstrip('/')}/{JOURNAL_FILE}"
+
+    def record(
+        self, phase: str, attempt: int, clock_ns: int, note: str = ""
+    ) -> None:
+        self.entries.append(JournalEntry(phase, attempt, clock_ns, note))
+        # journal appends are modelled atomic; see module docstring
+        with faults.shielded():
+            self.fs.write_file(self.path, self.serialize())
+
+    def serialize(self) -> str:
+        return "".join(entry.line() + "\n" for entry in self.entries)
+
+    @property
+    def phase(self) -> str | None:
+        """The last phase reached (None before ``begin``)."""
+        return self.entries[-1].phase if self.entries else None
+
+    @property
+    def attempts(self) -> int:
+        return max((entry.attempt for entry in self.entries), default=0)
+
+    def phases(self, attempt: int | None = None) -> list[str]:
+        return [
+            entry.phase
+            for entry in self.entries
+            if attempt is None or entry.attempt == attempt
+        ]
+
+    @classmethod
+    def load(cls, fs, image_dir: str) -> "TxJournal":
+        journal = cls(fs, image_dir)
+        raw = fs.read_file(journal.path).decode("utf-8")
+        journal.entries = [
+            JournalEntry.parse(line) for line in raw.splitlines() if line
+        ]
+        return journal

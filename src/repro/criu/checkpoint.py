@@ -24,6 +24,7 @@ image) so the remote peers never see a reset.
 
 from __future__ import annotations
 
+from .. import faults
 from ..kernel.filesystem import FileHandle
 from ..kernel.kernel import Kernel
 from ..kernel.memory import PAGE_SIZE, VMA
@@ -84,13 +85,22 @@ def checkpoint_tree(
     pids = process_tree_pids(kernel, root_pid)
     procs = [kernel.freeze(pid) for pid in pids]
 
-    images = [
-        _dump_process(proc, dump_exec_pages=dump_exec_pages) for proc in procs
-    ]
-    checkpoint = CheckpointImage(images, clock_ns=kernel.clock_ns)
+    # The dump is abort-safe: until it fully succeeds (including the
+    # image-dir save) nothing has been destroyed, so any failure thaws
+    # the frozen tree and the service keeps running untouched.
+    try:
+        images = [
+            _dump_process(proc, dump_exec_pages=dump_exec_pages)
+            for proc in procs
+        ]
+        checkpoint = CheckpointImage(images, clock_ns=kernel.clock_ns)
 
-    if image_dir is not None:
-        checkpoint.save(kernel.fs, image_dir)
+        if image_dir is not None:
+            checkpoint.save(kernel.fs, image_dir)
+    except Exception:
+        for pid in pids:
+            kernel.thaw(pid)
+        raise
 
     kernel.clock_ns += cost_model.checkpoint_cost(
         checkpoint.total_pages(), len(procs)
@@ -157,6 +167,7 @@ def _should_dump(vma: VMA, dump_exec_pages: bool) -> bool:
 def _dump_pages(
     proc: Process, dump_exec_pages: bool
 ) -> tuple[PagemapImage, PagesImage]:
+    faults.trip("checkpoint.dump_pages", detail=f"pid={proc.pid}")
     entries: list[PagemapEntry] = []
     blob = bytearray()
     for vma in proc.memory.vmas:

@@ -42,6 +42,8 @@ class CriuCostModel:
     unmap_vma_ns: int = 2 * MS              # drop one VMA from the image
     insert_library_ns: int = 45 * MS        # parse SELF + relocate + add pages
     set_sigaction_ns: int = 1 * MS          # edit the core image
+    retry_backoff_ns: int = 10 * MS         # base delay after a transient fault
+    retry_backoff_cap_ns: int = 80 * MS     # exponential backoff ceiling
 
     # ------------------------------------------------------------------
 
@@ -65,6 +67,14 @@ class CriuCostModel:
 
     def library_injection_cost(self) -> int:
         return self.insert_library_ns + self.set_sigaction_ns
+
+    def retry_backoff(self, failures: int) -> int:
+        """Deterministic exponential backoff after the Nth transient
+        failure (1-based), capped so retry storms stay bounded."""
+        return min(
+            self.retry_backoff_ns << max(0, failures - 1),
+            self.retry_backoff_cap_ns,
+        )
 
 
 DEFAULT_COST_MODEL = CriuCostModel()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import faults
 from ..binfmt.serde import ByteReader, ByteWriter
 from ..kernel.memory import PAGE_SIZE
 
@@ -453,6 +454,7 @@ class CheckpointImage:
     def save(self, fs, directory: str) -> None:
         """Write all image files into ``directory`` of a kernel fs."""
         directory = directory.rstrip("/")
+        faults.trip("image.save", detail=directory)
         fs.write_file(f"{directory}/inventory.img", self.inventory_bytes())
         for proc in self.processes:
             pid = proc.pid

@@ -21,6 +21,9 @@ restartable), so a process frozen inside ``accept`` resumes waiting.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
+from .. import faults
 from ..binfmt.self_format import SelfImage
 from ..kernel.filesystem import O_CREAT, O_TRUNC
 from ..kernel.kernel import Kernel
@@ -36,18 +39,64 @@ class RestoreError(RuntimeError):
     pass
 
 
+@dataclass
+class _UndoLog:
+    """Side effects of an in-flight restore, in application order.
+
+    A restore that fails halfway has already rebound listening ports,
+    repaired TCP endpoints, and registered processes; unwinding these
+    precisely is what lets the transactional engine retry the restore
+    (or restore a different image) without double-repairing buffers or
+    colliding on ports.
+    """
+
+    ports: list[int] = field(default_factory=list)
+    #: (endpoint, reinstated-prefix length, closed flag before repair)
+    repairs: list[tuple[Endpoint, int, bool]] = field(default_factory=list)
+    #: (pid, table entry before registration — usually the dead original)
+    registered: list[tuple[int, Process | None]] = field(default_factory=list)
+
+
+def _unwind(kernel: Kernel, undo: _UndoLog) -> None:
+    for pid, prior in reversed(undo.registered):
+        if prior is None:
+            kernel.processes.pop(pid, None)
+        else:
+            kernel.processes[pid] = prior
+        kernel.detach_tracer(pid)
+    for endpoint, prefix_len, was_closed in reversed(undo.repairs):
+        del endpoint.recv_buffer[:prefix_len]
+        endpoint.closed = was_closed
+    for port in reversed(undo.ports):
+        kernel.net.release_port(port)
+
+
 def restore_tree(
     kernel: Kernel,
     checkpoint: CheckpointImage,
     cost_model: CriuCostModel = DEFAULT_COST_MODEL,
 ) -> list[Process]:
-    """Restore every process of ``checkpoint``; returns them in image order."""
+    """Restore every process of ``checkpoint``; returns them in image order.
+
+    All-or-nothing: a failure mid-restore unwinds every side effect of
+    the partial restore (registered pids, rebound ports, repaired
+    endpoints) before re-raising, so the kernel is exactly as it was
+    and the same — or a pristine — checkpoint can be restored next.
+    """
     for pid in checkpoint.pids:
         existing = kernel.processes.get(pid)
         if existing is not None and existing.alive:
             raise RestoreError(f"pid {pid} is still alive; cannot restore over it")
 
-    restored = [_restore_process(kernel, image) for image in checkpoint.processes]
+    undo = _UndoLog()
+    try:
+        restored = [
+            _restore_process(kernel, image, undo)
+            for image in checkpoint.processes
+        ]
+    except Exception:
+        _unwind(kernel, undo)
+        raise
 
     # parent/child links within the restored tree
     by_pid = {proc.pid: proc for proc in restored}
@@ -75,7 +124,9 @@ def restore_from_dir(
 # ----------------------------------------------------------------------
 
 
-def _restore_process(kernel: Kernel, image: ProcessImage) -> Process:
+def _restore_process(
+    kernel: Kernel, image: ProcessImage, undo: _UndoLog
+) -> Process:
     memory = _restore_memory(kernel, image)
     proc = Process(image.core.pid, image.core.ppid, image.core.binary, memory)
 
@@ -93,14 +144,16 @@ def _restore_process(kernel: Kernel, image: ProcessImage) -> Process:
     if image.core.syscall_filter is not None:
         proc.syscall_filter = frozenset(image.core.syscall_filter)
     proc.modules = _restore_modules(kernel, image)
-    _restore_fds(kernel, proc, image)
+    _restore_fds(kernel, proc, image, undo)
 
     proc.state = ProcessState.RUNNABLE
+    undo.registered.append((proc.pid, kernel.processes.get(proc.pid)))
     kernel.processes[proc.pid] = proc
     return proc
 
 
 def _restore_memory(kernel: Kernel, image: ProcessImage) -> AddressSpace:
+    faults.trip("restore.memory", detail=f"pid={image.pid}")
     claimed = sum(entry.size for entry in image.pagemap.entries)
     if claimed != len(image.pages.data):
         raise RestoreError(
@@ -173,7 +226,10 @@ def _restore_modules(kernel: Kernel, image: ProcessImage) -> list[LoadedModule]:
     return modules
 
 
-def _restore_fds(kernel: Kernel, proc: Process, image: ProcessImage) -> None:
+def _restore_fds(
+    kernel: Kernel, proc: Process, image: ProcessImage, undo: _UndoLog
+) -> None:
+    faults.trip("restore.fds", detail=f"pid={image.pid}")
     for entry in image.files.fds:
         if entry.kind == "file":
             flags = entry.flags & ~(O_TRUNC | O_CREAT)
@@ -189,12 +245,17 @@ def _restore_fds(kernel: Kernel, proc: Process, image: ProcessImage) -> None:
             sock.listener = kernel.net.rebind_listener(
                 entry.port, entry.pending_conns
             )
+            undo.ports.append(entry.port)
             proc.fds[entry.fd] = sock
         elif entry.kind == "socket-conn":
             sock = SocketDescriptor()
             try:
+                prior_closed = _endpoint_closed(kernel, entry.conn_id, entry.side)
                 sock.endpoint = kernel.net.repair_endpoint(
                     entry.conn_id, entry.side, entry.recv_buffer
+                )
+                undo.repairs.append(
+                    (sock.endpoint, len(entry.recv_buffer), prior_closed)
                 )
             except NetworkError:
                 # peer vanished while we were down: a dead endpoint (EOF)
@@ -209,3 +270,11 @@ def _restore_fds(kernel: Kernel, proc: Process, image: ProcessImage) -> None:
             proc.fds[entry.fd] = sock
         else:
             raise RestoreError(f"unknown fd kind {entry.kind!r}")
+
+
+def _endpoint_closed(kernel: Kernel, conn_id: int, side: str) -> bool:
+    """The ``closed`` flag a repair is about to clear (for the undo log)."""
+    conn = kernel.net.connections.get(conn_id)
+    if conn is None:
+        return False  # repair_endpoint will raise; value never recorded
+    return conn.endpoint(side).closed

@@ -1,0 +1,96 @@
+"""Deterministic fault injection for the rewrite pipeline.
+
+The pipeline's injection sites call :func:`trip` / :func:`check` with
+their site name; both are no-ops unless a :class:`FaultPlan` is active
+(entered as a context manager), so production paths pay one ``is
+None`` test.  Plans are seeded and wall-clock-free: a chaos campaign
+replays bit-exactly from its seeds.
+
+:func:`shielded` suppresses injection for operations the failure model
+treats as atomic — journal appends (a single sector write) and the
+engine's recovery writes, which replay an already-durable pristine
+copy rather than issuing new payload I/O.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .plan import (
+    KINDS,
+    KNOWN_SITES,
+    FaultError,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectionRecord,
+    PermanentFault,
+    TransientFault,
+)
+
+_active: FaultPlan | None = None
+_shield_depth = 0
+
+
+def _activate(plan: FaultPlan) -> None:
+    global _active
+    if _active is not None and _active is not plan:
+        raise FaultError("another FaultPlan is already active")
+    _active = plan
+
+
+def _deactivate(plan: FaultPlan) -> None:
+    global _active
+    if _active is plan:
+        _active = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The ambient plan, unless injection is currently shielded."""
+    if _shield_depth > 0:
+        return None
+    return _active
+
+
+def trip(site: str, detail: str = "") -> None:
+    """Injection-site hook: raise the armed fault, if any fires."""
+    plan = active_plan()
+    if plan is not None:
+        plan.trip(site, detail)
+
+
+def check(site: str, detail: str = ""):
+    """Like :func:`trip` but returns the fault so the site can do
+    partial work (torn writes) before raising it."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.check(site, detail)
+
+
+@contextmanager
+def shielded():
+    """Suppress fault injection for modelled-atomic operations."""
+    global _shield_depth
+    _shield_depth += 1
+    try:
+        yield
+    finally:
+        _shield_depth -= 1
+
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectionRecord",
+    "KINDS",
+    "KNOWN_SITES",
+    "PermanentFault",
+    "TransientFault",
+    "active_plan",
+    "check",
+    "shielded",
+    "trip",
+]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import faults
 from .process import Descriptor
 
 # open(2)-style flags
@@ -37,6 +38,15 @@ class InMemoryFS:
     def write_file(self, path: str, data: bytes | str) -> None:
         if isinstance(data, str):
             data = data.encode("utf-8")
+        fault = faults.check("fs.write_file", detail=path)
+        if fault is not None:
+            # a torn write persists a truncated prefix (the crashed-
+            # mid-write shape); a plain fault persists nothing
+            if fault.fraction is not None:
+                self.files[_norm(path)] = bytearray(
+                    data[: fault.keep_bytes(len(data))]
+                )
+            raise fault
         self.files[_norm(path)] = bytearray(data)
 
     def read_file(self, path: str) -> bytes:

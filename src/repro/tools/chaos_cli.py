@@ -1,0 +1,229 @@
+"""``chaos`` CLI — seeded fault-injection campaigns over customize().
+
+Runs N seeded chaos campaigns per application (miniredis and
+minilight): each run stages a fresh kernel, profiles a feature, arms
+one seeded fault spec at a pipeline injection site, and drives a full
+``disable_feature`` transaction through it.  Afterwards the run is
+scored against the availability invariant:
+
+* **survived** — the process tree is alive and serves the wanted
+  workload, whether the transaction committed or rolled back;
+* **half-patched** — some but not all of the feature's blocks carry
+  the rewrite (must never happen; the transactional engine's contract).
+
+The aggregate goes to ``results/chaos_campaign.json``.  Exit status is
+0 when every run survived with zero half-patched outcomes, 1 otherwise.
+
+Usage::
+
+    python -m repro.tools.chaos_cli [--runs N] [--seed-base S]
+                                    [--output FILE] [--app redis|lighttpd]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from random import Random
+
+from ..apps import LIGHTTPD_PORT, REDIS_PORT, stage_lighttpd, stage_redis
+from ..apps.httpd_lighttpd import LIGHTTPD_BINARY
+from ..apps.kvstore import REDIS_BINARY
+from ..core import (
+    BlockMode,
+    CustomizationAborted,
+    DynaCut,
+    TraceDiff,
+    TrapPolicy,
+)
+from ..faults import KNOWN_SITES, FaultPlan
+from ..kernel import Kernel
+from ..tracing import BlockTracer
+from ..workloads import HttpClient, RedisClient
+
+#: sites a campaign run may arm (all of them — the recipe visits each)
+CAMPAIGN_SITES = sorted(KNOWN_SITES)
+KINDS = ("transient", "permanent")
+
+
+def _stage_redis_world():
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    tracer = BlockTracer(kernel, proc).attach()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "GET a", "DEL a", "EXISTS a"):
+        client.command(cmd)
+    wanted = tracer.nudge_dump()
+    client.command("SET a 1")
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        "SET", [wanted], [undesired]
+    )
+
+    def serves() -> bool:
+        return client.ping() and client.get("chaos-missing") is None
+
+    return kernel, proc, feature, REDIS_BINARY, serves
+
+
+def _stage_lighttpd_world():
+    kernel = Kernel()
+    proc = stage_lighttpd(kernel)
+    tracer = BlockTracer(kernel, proc).attach()
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+    client.get("/")
+    client.head("/")
+    client.options("/")
+    wanted = tracer.nudge_dump()
+    client.put("/chaos.txt", "x")
+    client.delete("/chaos.txt")
+    undesired = tracer.finish()
+    feature = TraceDiff(LIGHTTPD_BINARY).feature_blocks(
+        "dav-write", [wanted], [undesired]
+    )
+
+    def serves() -> bool:
+        return client.get("/").status == 200
+
+    return kernel, proc, feature, LIGHTTPD_BINARY, serves
+
+
+_STAGERS = {
+    "redis": _stage_redis_world,
+    "lighttpd": _stage_lighttpd_world,
+}
+
+
+def _module_base(proc, module: str) -> int:
+    for loaded in proc.modules:
+        if loaded.name == module:
+            return loaded.load_base
+    raise SystemExit(f"module {module!r} not mapped in pid {proc.pid}")
+
+
+def run_campaign(app: str, runs: int, seed_base: int) -> dict:
+    """``runs`` seeded chaos runs against ``app``; returns the record."""
+    records = []
+    for index in range(runs):
+        seed = seed_base + index
+        rng = Random(seed)
+        site = rng.choice(CAMPAIGN_SITES)
+        kind = rng.choice(KINDS)
+
+        kernel, proc, feature, module, serves = _STAGERS[app]()
+        pid = proc.pid
+        base = _module_base(proc, module)
+        offsets = [base + block.offset for block in feature.blocks]
+        before = {off: proc.memory.read_raw(off, 1) for off in offsets}
+
+        dynacut = DynaCut(kernel, lint_mode="always")
+        plan = FaultPlan(seed=seed).arm(
+            site, kind, probability=0.9, times=1,
+            torn=(site == "fs.write_file"),
+        )
+        outcome = "committed"
+        try:
+            with plan:
+                report = dynacut.disable_feature(
+                    pid, feature,
+                    policy=TrapPolicy.VERIFY, mode=BlockMode.ALL,
+                )
+        except CustomizationAborted as exc:
+            outcome = "rolled-back"
+            report = exc.report
+
+        survivor = kernel.processes.get(pid)
+        alive = survivor is not None and survivor.alive
+        serving = bool(alive and serves())
+        after = (
+            {off: survivor.memory.read_raw(off, 1) for off in offsets}
+            if alive else {}
+        )
+        if outcome == "committed":
+            intact = all(byte == b"\xcc" for byte in after.values())
+        else:
+            intact = after == before
+        half_patched = alive and not intact
+
+        records.append({
+            "seed": seed,
+            "site": site,
+            "kind": kind,
+            "outcome": outcome,
+            "attempts": report.attempts,
+            "retries": report.attempts - 1,
+            "faults_fired": plan.fired,
+            "log_consistent": plan.consistent_with_plan(),
+            "survived": serving,
+            "half_patched": half_patched,
+        })
+
+    summary = {
+        "runs": runs,
+        "survived": sum(r["survived"] for r in records),
+        "committed": sum(r["outcome"] == "committed" for r in records),
+        "rolled_back": sum(r["outcome"] == "rolled-back" for r in records),
+        "runs_retried": sum(r["retries"] > 0 for r in records),
+        "total_retries": sum(r["retries"] for r in records),
+        "faults_fired": sum(r["faults_fired"] for r in records),
+        "half_patched": sum(r["half_patched"] for r in records),
+        "survival_rate": (
+            sum(r["survived"] for r in records) / runs if runs else 1.0
+        ),
+    }
+    return {"app": app, "summary": summary, "records": records}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="chaos")
+    parser.add_argument("--runs", type=int, default=10,
+                        help="seeded runs per application (default 10)")
+    parser.add_argument("--seed-base", type=int, default=1000,
+                        help="first seed; run i uses seed-base + i")
+    parser.add_argument("--app", choices=sorted(_STAGERS), action="append",
+                        help="restrict to one application (repeatable); "
+                             "default: all")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("results/chaos_campaign.json"))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    apps = args.app or sorted(_STAGERS)
+
+    campaigns = [
+        run_campaign(app, args.runs, args.seed_base) for app in apps
+    ]
+    total_runs = sum(c["summary"]["runs"] for c in campaigns)
+    total_survived = sum(c["summary"]["survived"] for c in campaigns)
+    total_half = sum(c["summary"]["half_patched"] for c in campaigns)
+    clean = total_survived == total_runs and total_half == 0
+
+    payload = {
+        "campaigns": campaigns,
+        "total_runs": total_runs,
+        "total_survived": total_survived,
+        "total_half_patched": total_half,
+        "clean": clean,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+
+    for campaign in campaigns:
+        summary = campaign["summary"]
+        print(
+            f"{campaign['app']}: {summary['survived']}/{summary['runs']} "
+            f"survived ({summary['committed']} committed, "
+            f"{summary['rolled_back']} rolled back, "
+            f"{summary['total_retries']} retries, "
+            f"{summary['half_patched']} half-patched)"
+        )
+    print(f"campaign {'CLEAN' if clean else 'VIOLATED'} -> {args.output}")
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,22 @@
-"""Administrative API and checkpoint idempotence properties."""
+"""Administrative API, checkpoint idempotence, rollback idempotence."""
 
 from __future__ import annotations
 
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
 from repro.apps import REDIS_PORT, stage_redis
-from repro.apps.kvstore import REDIS_BINARY
-from repro.core import DynaCut, TraceDiff, TrapPolicy
+from repro.apps.kvstore import READY_LINE, REDIS_BINARY
+from repro.core import (
+    BlockMode,
+    CustomizationAborted,
+    DynaCut,
+    TraceDiff,
+    TrapPolicy,
+    init_only_blocks,
+)
 from repro.criu import checkpoint_tree, restore_tree
+from repro.faults import KNOWN_SITES, FaultPlan
 from repro.kernel import Kernel
 from repro.tracing import BlockTracer
 from repro.workloads import RedisClient
@@ -97,3 +108,129 @@ class TestCheckpointIdempotence:
             (proc,) = restore_tree(kernel, checkpoint)
             assert client.incr("n") == round_no + 1
         assert client.get("n") == "3"
+
+
+# ----------------------------------------------------------------------
+# rollback idempotence (property-based)
+
+#: staged lazily, shared across examples — the invariant below is local
+#: to each operation (pre-op bytes vs post-op bytes), so cumulative
+#: state from earlier examples is part of the test, not a hazard
+_CHAOS_WORLD: dict | None = None
+
+
+def _chaos_world() -> dict:
+    global _CHAOS_WORLD
+    if _CHAOS_WORLD is not None:
+        return _CHAOS_WORLD
+    kernel = Kernel()
+    proc = stage_redis(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text())
+    init_trace = tracer.nudge_dump()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "GET a", "DEL a", "EXISTS a", "DBSIZE"):
+        client.command(cmd)
+    wanted = tracer.nudge_dump()
+    client.command("SET a 1")
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        "SET", [wanted], [undesired]
+    )
+    init_report = init_only_blocks(init_trace, wanted, REDIS_BINARY)
+    _CHAOS_WORLD = {
+        "kernel": kernel,
+        "pid": proc.pid,
+        "client": client,
+        "feature": feature,
+        "init_blocks": list(init_report.init_only)[:30],
+    }
+    return _CHAOS_WORLD
+
+
+_OP = st.tuples(
+    st.sampled_from(["disable", "enable", "remove_init"]),
+    st.sampled_from(sorted(KNOWN_SITES)),
+    st.sampled_from(["transient", "permanent", "none"]),
+    st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestRollbackIdempotence:
+    """Random op interleavings with injected faults never half-patch.
+
+    Property: after every disable_feature / enable_feature /
+    remove_init_code call — committed or aborted — each watched code
+    byte equals either its pre-call value (rollback) or the op's fully
+    committed value; and the tree stays alive and serving.
+    """
+
+    def _watched(self, world) -> list[int]:
+        offsets = [block.offset for block in world["feature"].blocks]
+        offsets += [block.offset for block in world["init_blocks"]]
+        return offsets
+
+    def _snapshot(self, kernel, pid, offsets) -> dict[int, bytes]:
+        memory = kernel.processes[pid].memory
+        return {offset: memory.read_raw(offset, 1) for offset in offsets}
+
+    def _committed_bytes(self, world, op, before):
+        """The post-state a committed ``op`` must produce."""
+        binary = world["kernel"].binaries[REDIS_BINARY]
+        expected = dict(before)
+        if op == "disable":
+            for block in world["feature"].blocks:
+                expected[block.offset] = b"\xcc"
+        elif op == "enable":
+            for block in world["feature"].blocks:
+                expected[block.offset] = binary.read_bytes(block.offset, 1)
+        else:
+            for block in world["init_blocks"]:
+                expected[block.offset] = b"\xcc"
+        return expected
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(_OP, min_size=1, max_size=3))
+    def test_interleaved_ops_commit_fully_or_not_at_all(self, ops):
+        world = _chaos_world()
+        kernel, pid = world["kernel"], world["pid"]
+        dynacut = DynaCut(kernel)
+        offsets = self._watched(world)
+
+        for op, site, fault_kind, seed in ops:
+            before = self._snapshot(kernel, pid, offsets)
+            plan = FaultPlan(seed=seed)
+            if fault_kind != "none":
+                plan.arm(site, fault_kind, probability=0.8, times=1)
+            committed = True
+            with plan:
+                try:
+                    if op == "disable":
+                        dynacut.disable_feature(
+                            pid, world["feature"],
+                            policy=TrapPolicy.TERMINATE, mode=BlockMode.ALL,
+                        )
+                    elif op == "enable":
+                        dynacut.enable_feature(
+                            pid, world["feature"], mode=BlockMode.ALL
+                        )
+                    else:
+                        dynacut.remove_init_code(
+                            pid, REDIS_BINARY, world["init_blocks"], wipe=True
+                        )
+                except CustomizationAborted:
+                    committed = False
+
+            proc = dynacut.restored_process(pid)
+            assert proc.alive
+            assert world["client"].ping()
+            after = self._snapshot(kernel, pid, offsets)
+            if committed:
+                assert after == self._committed_bytes(world, op, before)
+            else:
+                assert after == before
+            assert plan.consistent_with_plan()

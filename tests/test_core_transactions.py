@@ -1,0 +1,295 @@
+"""Transactional customize(): journal, pristine images, rollback.
+
+The engine's contract: a customize session either commits (rewritten
+tree live) or rolls back (pristine tree live) — never anything in
+between — and the journal in the image directory records exactly how
+far each attempt got.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.core import (
+    CustomizationAborted,
+    DynaCut,
+    JournalEntry,
+    RollbackFailed,
+    TraceDiff,
+    TrapPolicy,
+    TxJournal,
+)
+from repro.core.transaction import (
+    PHASE_COMMITTED,
+    PHASE_RETRYING,
+    PHASE_ROLLED_BACK,
+)
+from repro.criu.images import CheckpointImage
+from repro.faults import FaultPlan, TransientFault
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+
+IMAGE_DIR = "/tmp/criu/dynacut"
+
+
+def _staged():
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    client = RedisClient(kernel, REDIS_PORT)
+    return kernel, proc, client
+
+
+def _profile_set(kernel, proc):
+    tracer = BlockTracer(kernel, proc).attach()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "GET a", "DEL a"):
+        client.command(cmd)
+    wanted = tracer.nudge_dump()
+    client.command("SET a 1")
+    undesired = tracer.finish()
+    return TraceDiff(REDIS_BINARY).feature_blocks("SET", [wanted], [undesired])
+
+
+class TestCommitPath:
+    def test_commit_journal_and_report(self):
+        kernel, proc, client = _staged()
+        dynacut = DynaCut(kernel)
+        report = dynacut.customize(proc.pid, lambda rw: None)
+        assert report.outcome == "committed"
+        assert report.attempts == 1
+        assert not report.rolled_back
+        journal = dynacut.last_journal
+        assert journal.phase == PHASE_COMMITTED
+        assert journal.phases(attempt=1) == [
+            "begin", "checkpointed", "pristine-saved", "rewritten",
+            "saved", "restored", "committed",
+        ]
+        assert client.ping()
+
+    def test_journal_persisted_in_image_dir(self):
+        kernel, proc, __ = _staged()
+        dynacut = DynaCut(kernel)
+        dynacut.customize(proc.pid, lambda rw: None)
+        loaded = TxJournal.load(kernel.fs, dynacut.image_dir)
+        assert loaded.phase == PHASE_COMMITTED
+        assert loaded.entries == dynacut.last_journal.entries
+
+    def test_journal_entry_round_trip(self):
+        entry = JournalEntry("restored", 2, 123456, "note with spaces")
+        assert JournalEntry.parse(entry.line()) == entry
+
+    def test_pristine_dir_holds_unmutated_images(self):
+        kernel, proc, __ = _staged()
+        feature = _profile_set(kernel, proc)
+        dynacut = DynaCut(kernel)
+        dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.TERMINATE
+        )
+        entry = feature.entry
+        pristine = CheckpointImage.load(kernel.fs, dynacut.pristine_dir)
+        working = CheckpointImage.load(kernel.fs, dynacut.image_dir)
+        original = kernel.binaries[REDIS_BINARY].read_bytes(entry.offset, 1)
+        assert pristine.root().read_memory(entry.offset, 1) == original
+        assert working.root().read_memory(entry.offset, 1) == b"\xcc"
+
+
+class TestLintStrictReject:
+    """Regression: a strict-lint rejection must not kill the service.
+
+    Before the transactional engine, checkpoint.save() had already
+    overwritten the only on-disk copy of the pristine images and the
+    tree was already destroyed by the dump, so a strict reject left the
+    service dead with no way back.
+    """
+
+    def _corrupting_actions(self, kernel):
+        # a non-int3 byte in executable code is structural damage the
+        # lint flags as DL103
+        address = kernel.binaries[REDIS_BINARY].symbol_address("cmd_get")
+
+        def actions(rewriter):
+            image, base = rewriter.images_mapping(REDIS_BINARY)[0]
+            image.write_memory(base + address, b"\x90")
+
+        return address, actions
+
+    def test_lint_strict_reject_leaves_service_running(self):
+        kernel, proc, client = _staged()
+        dynacut = DynaCut(kernel, lint_mode="always", lint_strict=True)
+        address, actions = self._corrupting_actions(kernel)
+
+        with pytest.raises(CustomizationAborted) as excinfo:
+            dynacut.customize(proc.pid, actions)
+        assert "dynalint rejected" in str(excinfo.value)
+
+        # the service survived the rejection, unmodified
+        proc = dynacut.restored_process(proc.pid)
+        assert proc.alive
+        assert client.ping()
+        assert client.set("k", "v")
+        assert client.get("k") == "v"
+
+        # and the live code carries the pristine byte, not the damage
+        original = kernel.binaries[REDIS_BINARY].read_bytes(address, 1)
+        assert proc.memory.read_raw(address, 1) == original
+
+    def test_reject_restores_pristine_on_disk_images(self):
+        kernel, proc, __ = _staged()
+        dynacut = DynaCut(kernel, lint_mode="always", lint_strict=True)
+        address, actions = self._corrupting_actions(kernel)
+        with pytest.raises(CustomizationAborted):
+            dynacut.customize(proc.pid, actions)
+        # the working directory holds pristine images again (the
+        # rewritten save was rolled back), so a crash-recovery restore
+        # from disk would also come up clean
+        working = CheckpointImage.load(kernel.fs, dynacut.image_dir)
+        original = kernel.binaries[REDIS_BINARY].read_bytes(address, 1)
+        assert working.root().read_memory(address, 1) == original
+        assert dynacut.last_journal.phase == PHASE_ROLLED_BACK
+
+    def test_reject_report_recorded_as_rolled_back(self):
+        kernel, proc, __ = _staged()
+        dynacut = DynaCut(kernel, lint_mode="always", lint_strict=True)
+        __, actions = self._corrupting_actions(kernel)
+        with pytest.raises(CustomizationAborted) as excinfo:
+            dynacut.customize(proc.pid, actions)
+        report = excinfo.value.report
+        assert report is not None
+        assert report.outcome == "rolled-back"
+        assert report.rolled_back
+        assert dynacut.history[-1] is report
+
+
+class TestTransientRetry:
+    def test_single_transient_fault_retries_then_commits(self):
+        kernel, proc, client = _staged()
+        dynacut = DynaCut(kernel)
+        plan = FaultPlan(seed=7).arm(
+            "restore.memory", "transient", on_call=1
+        )
+        with plan:
+            report = dynacut.customize(proc.pid, lambda rw: None)
+        assert report.outcome == "committed"
+        assert report.attempts == 2
+        assert plan.fired == 1
+        journal = dynacut.last_journal
+        assert PHASE_ROLLED_BACK in journal.phases(attempt=1)
+        assert PHASE_RETRYING in journal.phases(attempt=1)
+        assert journal.phases(attempt=2)[-1] == PHASE_COMMITTED
+        assert client.ping()
+
+    def test_backoff_charged_to_virtual_clock(self):
+        kernel, proc, __ = _staged()
+        dynacut = DynaCut(kernel)
+        # dump fails before the tree is destroyed: the only extra cost
+        # over a clean run is the re-dump and the backoff
+        plan = FaultPlan(seed=1).arm(
+            "checkpoint.dump_pages", "transient", on_call=1
+        )
+        with plan:
+            dynacut.customize(proc.pid, lambda rw: None)
+        journal = dynacut.last_journal
+        retrying = [e for e in journal.entries if e.phase == PHASE_RETRYING]
+        assert len(retrying) == 1
+        assert retrying[0].note == (
+            f"backoff={dynacut.cost_model.retry_backoff(1)}ns"
+        )
+
+    def test_retry_is_deterministic(self):
+        def campaign():
+            kernel, proc, __ = _staged()
+            dynacut = DynaCut(kernel)
+            plan = FaultPlan(seed=42).arm(
+                "restore.fds", "transient", probability=0.8, times=2
+            )
+            with plan:
+                dynacut.customize(proc.pid, lambda rw: None)
+            return (
+                [(r.site, r.call_index, r.kind) for r in plan.log],
+                dynacut.last_journal.serialize(),
+            )
+
+        assert campaign() == campaign()
+
+    def test_retry_exhaustion_aborts_with_fault_chain(self):
+        kernel, proc, client = _staged()
+        dynacut = DynaCut(kernel)
+        # restore.memory is visited alternately by the attempt and by
+        # the rollback: calls 1, 3, 5 are the three attempts
+        plan = FaultPlan(seed=0)
+        for call in (1, 3, 5):
+            plan.arm("restore.memory", "transient", on_call=call)
+        with plan:
+            with pytest.raises(CustomizationAborted) as excinfo:
+                dynacut.customize(proc.pid, lambda rw: None)
+        assert isinstance(excinfo.value.__cause__, TransientFault)
+        assert excinfo.value.__cause__.site == "restore.memory"
+        assert excinfo.value.report.attempts == dynacut.max_attempts
+        assert plan.fired == 3
+        # the service rolled back and keeps serving
+        assert dynacut.restored_process(proc.pid).alive
+        assert client.ping()
+
+
+class TestPermanentFault:
+    def test_permanent_fault_rolls_back_first_attempt(self):
+        kernel, proc, client = _staged()
+        feature = _profile_set(kernel, proc)
+        dynacut = DynaCut(kernel)
+        # image.save call 3 is the rewritten-image save (1 = the dump's
+        # own save, 2 = the pristine save)
+        plan = FaultPlan(seed=3).arm("image.save", "permanent", on_call=3)
+        with plan:
+            with pytest.raises(CustomizationAborted) as excinfo:
+                dynacut.disable_feature(
+                    proc.pid, feature, policy=TrapPolicy.TERMINATE
+                )
+        assert excinfo.value.report.attempts == 1
+        assert dynacut.last_journal.phase == PHASE_ROLLED_BACK
+        # rolled back: the feature was never disabled
+        assert dynacut.disabled_features(proc.pid) == []
+        assert client.ping()
+        assert client.set("still", "works")
+
+    def test_rollback_failed_when_faults_saturate_restore(self):
+        kernel, proc, __ = _staged()
+        dynacut = DynaCut(kernel)
+        plan = FaultPlan(seed=9).arm(
+            "restore.memory", "transient", probability=1.0, times=0
+        )
+        with plan:
+            with pytest.raises(RollbackFailed):
+                dynacut.customize(proc.pid, lambda rw: None)
+        # the one scenario where the service is genuinely down
+        survivor = kernel.processes.get(proc.pid)
+        assert survivor is None or not survivor.alive
+
+
+class TestEnableFeatureRecord:
+    def test_disabled_record_survives_aborted_reenable(self):
+        kernel, proc, client = _staged()
+        feature = _profile_set(kernel, proc)
+        dynacut = DynaCut(kernel)
+        dynacut.disable_feature(
+            proc.pid, feature, policy=TrapPolicy.REDIRECT,
+            redirect_symbol="redis_unknown_cmd",
+        )
+        assert dynacut.disabled_features(proc.pid) == ["SET"]
+        assert client.command("SET k v").startswith("-ERR")
+
+        plan = FaultPlan(seed=5).arm("restore.memory", "permanent", on_call=1)
+        with plan:
+            with pytest.raises(CustomizationAborted):
+                dynacut.enable_feature(proc.pid, feature)
+        # the re-enable rolled back: the feature is still disabled and
+        # the record survived for the retry
+        assert dynacut.disabled_features(proc.pid) == ["SET"]
+        assert client.command("SET k v").startswith("-ERR")
+
+        dynacut.enable_feature(proc.pid, feature)
+        assert dynacut.disabled_features(proc.pid) == []
+        assert client.set("k", "v2")
+        assert client.get("k") == "v2"

@@ -1,8 +1,12 @@
-"""Fault injection: corrupted or incomplete checkpoint images.
+"""Fault injection: corrupted images and the typed fault taxonomy.
 
-Restore must fail loudly (typed errors), never silently produce a
-half-restored process; and the checkpoint directory layout must detect
-tampering at the serialization layer.
+Two layers of failure are covered.  Hand-corrupted images (truncated
+files, swapped magics, inconsistent pagemaps) must fail loudly with
+typed errors, never silently produce a half-restored process.  And the
+seeded injection subsystem (:mod:`repro.faults`) must classify every
+injected failure as transient (retryable) or permanent, preserve the
+error chain through retry exhaustion, and leave the pipeline's
+abort-safety intact (a failed dump thaws the tree it froze).
 """
 
 from __future__ import annotations
@@ -17,8 +21,16 @@ from repro.criu import (
     checkpoint_tree,
     restore_tree,
 )
-from repro.apps import stage_redis
+from repro.apps import REDIS_PORT, stage_redis
+from repro.core import CustomizationAborted, DynaCut
+from repro.faults import (
+    FaultPlan,
+    InjectedFault,
+    PermanentFault,
+    TransientFault,
+)
 from repro.kernel import Kernel
+from repro.workloads import RedisClient
 
 
 @pytest.fixture()
@@ -102,3 +114,92 @@ class TestPartialFailureContainment:
                 "miniredis", [BlockRecord("miniredis", 0xDEAD0000, 4)]
             )
         assert "0xdead0000" in str(excinfo.value).lower()
+
+
+class TestTypedFaultTaxonomy:
+    """Injected faults are typed: transient retries, permanent aborts."""
+
+    def test_taxonomy_hierarchy(self):
+        assert issubclass(TransientFault, InjectedFault)
+        assert issubclass(PermanentFault, InjectedFault)
+        assert TransientFault.kind == "transient"
+        assert PermanentFault.kind == "permanent"
+        # transient is never a subtype of permanent or vice versa: the
+        # engine's except clauses rely on the split
+        assert not issubclass(TransientFault, PermanentFault)
+        assert not issubclass(PermanentFault, TransientFault)
+
+    def test_injected_fault_carries_site_and_call(self):
+        plan = FaultPlan(seed=0).arm("restore.memory", "permanent", on_call=2)
+        with plan:
+            assert plan.check("restore.memory", "pid=7") is None
+            fault = plan.check("restore.memory", "pid=7")
+        assert isinstance(fault, PermanentFault)
+        assert fault.site == "restore.memory"
+        assert fault.call_index == 2
+        assert "pid=7" in str(fault)
+
+    def test_torn_write_persists_truncated_prefix(self):
+        kernel = Kernel()
+        payload = bytes(range(256)) * 4
+        plan = FaultPlan(seed=11).arm(
+            "fs.write_file", "transient", on_call=1, torn=True
+        )
+        with plan:
+            with pytest.raises(TransientFault) as excinfo:
+                kernel.fs.write_file("/tmp/torn", payload)
+        surviving = kernel.fs.read_file("/tmp/torn")
+        fault = excinfo.value
+        assert fault.fraction is not None
+        assert 0.1 <= fault.fraction <= 0.9
+        assert len(surviving) == fault.keep_bytes(len(payload))
+        assert 0 < len(surviving) < len(payload)
+        assert surviving == payload[: len(surviving)]
+        # a retried write repairs the torn file (the transient contract)
+        kernel.fs.write_file("/tmp/torn", payload)
+        assert kernel.fs.read_file("/tmp/torn") == payload
+
+    def test_plain_write_fault_persists_nothing(self):
+        kernel = Kernel()
+        plan = FaultPlan(seed=1).arm("fs.write_file", "permanent", on_call=1)
+        with plan:
+            with pytest.raises(PermanentFault):
+                kernel.fs.write_file("/tmp/gone", b"data")
+        assert not kernel.fs.exists("/tmp/gone")
+
+    def test_failed_dump_thaws_the_frozen_tree(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        client = RedisClient(kernel, REDIS_PORT)
+        plan = FaultPlan(seed=2).arm(
+            "checkpoint.dump_pages", "permanent", on_call=1
+        )
+        with plan:
+            with pytest.raises(PermanentFault):
+                checkpoint_tree(kernel, proc.pid, image_dir="/tmp/criu/thaw")
+        # abort-safe: nothing was destroyed and nothing stayed frozen
+        assert proc.alive
+        assert client.ping()
+        assert client.set("after", "dump-fault")
+        assert client.get("after") == "dump-fault"
+
+    def test_retry_exhaustion_preserves_error_chain(self):
+        kernel = Kernel()
+        proc = stage_redis(kernel)
+        dynacut = DynaCut(kernel)
+        # every dump attempt fails before the tree is destroyed, so the
+        # engine retries until the budget is gone
+        plan = FaultPlan(seed=3).arm(
+            "checkpoint.dump_pages", "transient", probability=1.0, times=0
+        )
+        with plan:
+            with pytest.raises(CustomizationAborted) as excinfo:
+                dynacut.customize(proc.pid, lambda rw: None)
+        chain = excinfo.value.__cause__
+        assert isinstance(chain, TransientFault)
+        assert chain.site == "checkpoint.dump_pages"
+        assert excinfo.value.report.attempts == dynacut.max_attempts
+        assert plan.fired == dynacut.max_attempts
+        # dump faults never destroy the tree: the service kept running
+        assert proc.alive
+        assert RedisClient(kernel, REDIS_PORT).ping()

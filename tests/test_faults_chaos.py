@@ -1,0 +1,292 @@
+"""Chaos suite: every injection site × fault kind × 10 seeds.
+
+The invariant under test is the paper's availability claim made
+mechanical: *after any customize() outcome — commit, retry, or
+rollback — the process tree is alive and serves the wanted workload,
+and the image is never half-patched*.  Each case arms exactly one
+seeded fault spec, runs a full disable-feature session (checkpoint →
+rewrite → save → lint → restore), and checks the world afterwards.
+
+The session recipe (VERIFY policy, all blocks, lint always on) is
+chosen because it visits every injection site in one pipeline run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.apps import REDIS_PORT, stage_redis
+from repro.apps.kvstore import REDIS_BINARY
+from repro.core import (
+    BlockMode,
+    CustomizationAborted,
+    DynaCut,
+    TraceDiff,
+    TrapPolicy,
+)
+from repro.faults import (
+    FaultError,
+    FaultPlan,
+    KNOWN_SITES,
+    PermanentFault,
+    TransientFault,
+)
+from repro.kernel import Kernel
+from repro.tracing import BlockTracer
+from repro.workloads import RedisClient
+from repro.workloads.driver import SECOND_NS, TimelineEvent, run_request_timeline
+
+SITES = sorted(KNOWN_SITES)
+KINDS = ("transient", "permanent")
+SEEDS = range(10)
+
+
+def _fresh_world():
+    kernel = Kernel()
+    proc = stage_redis(kernel)
+    tracer = BlockTracer(kernel, proc).attach()
+    client = RedisClient(kernel, REDIS_PORT)
+    for cmd in ("PING", "GET a", "DEL a", "EXISTS a"):
+        client.command(cmd)
+    wanted = tracer.nudge_dump()
+    client.command("SET a 1")
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        "SET", [wanted], [undesired]
+    )
+    dynacut = DynaCut(kernel, lint_mode="always")
+    return {
+        "kernel": kernel,
+        "pid": proc.pid,
+        "client": client,
+        "feature": feature,
+        "dynacut": dynacut,
+    }
+
+
+#: one staged world per (site, kind) group; invalidated whenever a case
+#: commits a handler install, because rewriter.inject_library is only
+#: reachable while the tree has no handler library yet
+_WORLDS: dict[tuple[str, str], dict] = {}
+
+
+def _world_for(site: str, kind: str) -> dict:
+    key = (site, kind)
+    if key not in _WORLDS:
+        _WORLDS[key] = _fresh_world()
+    return _WORLDS[key]
+
+
+def _invalidate_if_needed(site: str, kind: str, committed: bool) -> None:
+    if site == "rewriter.inject_library" and committed:
+        del _WORLDS[(site, kind)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("site", SITES)
+def test_customize_survives_injected_fault(site, kind, seed):
+    world = _world_for(site, kind)
+    kernel = world["kernel"]
+    dynacut = world["dynacut"]
+    client = world["client"]
+    feature = world["feature"]
+    pid = world["pid"]
+
+    proc = kernel.processes[pid]
+    entry_offsets = [block.offset for block in feature.blocks]
+    before = {
+        offset: proc.memory.read_raw(offset, 1) for offset in entry_offsets
+    }
+
+    plan = FaultPlan(seed=seed).arm(
+        site,
+        kind,
+        probability=0.9,
+        times=1,
+        torn=(site == "fs.write_file"),
+    )
+    committed = True
+    try:
+        with plan:
+            report = dynacut.disable_feature(
+                pid, feature, policy=TrapPolicy.VERIFY, mode=BlockMode.ALL
+            )
+    except CustomizationAborted as exc:
+        committed = False
+        report = exc.report
+
+    # the recipe visits the armed site; otherwise the case proves nothing
+    assert plan.calls.get(site, 0) > 0
+
+    # invariant 1: the tree is alive and serves the wanted workload
+    proc = dynacut.restored_process(pid)
+    assert proc.alive
+    assert client.ping()
+    assert client.get("chaos-missing") is None
+
+    # invariant 2: never half-patched — all blocks carry either their
+    # pre-call bytes (rolled back) or the int3 patch (committed)
+    after = {
+        offset: proc.memory.read_raw(offset, 1) for offset in entry_offsets
+    }
+    if committed:
+        assert all(byte == b"\xcc" for byte in after.values())
+        assert report.outcome == "committed"
+        assert not report.rolled_back
+    else:
+        assert after == before
+        assert report.outcome == "rolled-back"
+        assert report.rolled_back
+        assert kind == "permanent"   # transients retry to success here
+
+    # invariant 3: the injection log matches the armed plan
+    assert plan.consistent_with_plan()
+    for record in plan.log:
+        assert record.site == site
+        assert record.kind == kind
+    assert len(plan.log) <= 1   # times=1 caps the spec
+
+    _invalidate_if_needed(site, kind, committed)
+
+
+def test_timeline_survives_faulted_customize():
+    """Closed-loop workload straddling two faulted customize sessions.
+
+    Reuses ``workloads/driver.py``: requests stream before, between,
+    and after (a) a disable that commits on its second attempt after a
+    transient dump fault and (b) a re-enable that rolls back on a
+    permanent restore fault — and not one request fails.
+    """
+    world = _fresh_world()
+    kernel = world["kernel"]
+    dynacut = world["dynacut"]
+    client = world["client"]
+    feature = world["feature"]
+    pid = world["pid"]
+    client.set("hot", "1")
+    reports = {}
+
+    def faulted_disable():
+        plan = FaultPlan(seed=7).arm(
+            "checkpoint.dump_pages", "transient", on_call=1
+        )
+        with plan:
+            reports["disable"] = dynacut.disable_feature(
+                pid, feature, policy=TrapPolicy.VERIFY, mode=BlockMode.ALL
+            )
+
+    def faulted_enable():
+        plan = FaultPlan(seed=8).arm("restore.memory", "permanent", on_call=1)
+        with plan, pytest.raises(CustomizationAborted) as excinfo:
+            dynacut.enable_feature(pid, feature)
+        reports["enable"] = excinfo.value.report
+
+    result = run_request_timeline(
+        kernel,
+        lambda: client.get("hot") == "1",
+        duration_ns=4 * SECOND_NS,
+        bucket_ns=SECOND_NS,
+        events=[
+            TimelineEvent(1 * SECOND_NS, "disable", faulted_disable),
+            TimelineEvent(int(2.5 * SECOND_NS), "enable", faulted_enable),
+        ],
+    )
+
+    assert [label for __, label in result.events_fired] == ["disable", "enable"]
+    assert reports["disable"].outcome == "committed"
+    assert reports["disable"].attempts == 2
+    assert reports["enable"].rolled_back
+    # availability: the wanted workload never missed a beat — every
+    # request completed and every one-second bucket saw completions
+    assert result.total_requests > 0
+    assert result.failed_requests == 0
+    assert result.min_bucket() > 0
+    # the rolled-back re-enable left the feature blocked
+    proc = dynacut.restored_process(pid)
+    assert proc.alive
+    assert proc.memory.read_raw(feature.blocks[0].offset, 1) == b"\xcc"
+
+
+class TestFaultPlanApi:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan().arm("no.such.site", on_call=1)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(FaultError):
+            FaultPlan().arm("image.save", probability=0.5, on_call=1)
+        with pytest.raises(FaultError):
+            FaultPlan().arm("image.save")
+
+    def test_probability_bounds_checked(self):
+        with pytest.raises(FaultError):
+            FaultPlan().arm("image.save", probability=1.5)
+
+    def test_on_call_is_one_based(self):
+        with pytest.raises(FaultError):
+            FaultPlan().arm("image.save", on_call=0)
+
+    def test_torn_restricted_to_fs_writes(self):
+        with pytest.raises(FaultError):
+            FaultPlan().arm("image.save", on_call=1, torn=True)
+        FaultPlan().arm("fs.write_file", on_call=1, torn=True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan().arm("image.save", "byzantine", on_call=1)
+
+    def test_nested_plans_rejected(self):
+        with FaultPlan(seed=1):
+            with pytest.raises(FaultError):
+                FaultPlan(seed=2).__enter__()
+
+    def test_sites_are_noops_without_a_plan(self):
+        faults.trip("restore.memory")
+        assert faults.check("image.save") is None
+
+    def test_shielded_suppresses_injection(self):
+        plan = FaultPlan().arm("image.save", probability=1.0, times=0)
+        with plan:
+            with faults.shielded():
+                assert faults.check("image.save") is None
+            with pytest.raises(TransientFault):
+                faults.trip("image.save")
+        assert plan.fired == 1
+
+    def test_deterministic_replay_from_seed(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed).arm(
+                "fs.write_file", "permanent", probability=0.5, times=0,
+                torn=True,
+            )
+            fired = []
+            for index in range(20):
+                fault = plan.check("fs.write_file", detail=f"f{index}")
+                fired.append(
+                    None if fault is None else (fault.call_index, fault.fraction)
+                )
+            return fired
+
+        assert run(13) == run(13)
+        assert run(13) != run(14)
+
+    def test_fire_budget_respected(self):
+        plan = FaultPlan().arm("image.save", probability=1.0, times=2)
+        with plan:
+            for __ in range(2):
+                with pytest.raises(TransientFault):
+                    faults.trip("image.save")
+            faults.trip("image.save")   # spec exhausted: no fire
+        assert plan.fired == 2
+        assert plan.fired_at("image.save")[0].call_index == 1
+
+    def test_kind_classes(self):
+        assert issubclass(TransientFault, RuntimeError)
+        assert issubclass(PermanentFault, RuntimeError)
+        fault = PermanentFault("image.save", 3, "detail")
+        assert fault.site == "image.save"
+        assert fault.call_index == 3
+        assert "permanent" in str(fault)
+        assert fault.keep_bytes(100) == 0    # no torn fraction set
