@@ -667,6 +667,15 @@ class DynaCut:
             name for pid, name in self._disabled if pid == root_pid
         )
 
+    def disabled_blocks(self, root_pid: int, feature_name: str) -> list[BlockRecord]:
+        """The blocks a committed :meth:`disable_feature` actually patched.
+
+        The active removal set for drift detection: a runtime trap at
+        one of these blocks means live traffic is reaching code this
+        engine removed.  Empty when the feature is not disabled.
+        """
+        return list(self._disabled.get((root_pid, feature_name), ()))
+
     def status(self, root_pid: int) -> dict[str, object]:
         """Operator overview: live pids, disabled features, filter state."""
         proc = self.kernel.processes.get(root_pid)

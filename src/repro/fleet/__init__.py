@@ -1,0 +1,41 @@
+"""DynaFleet: rolling, canary-gated, adaptive customization of a fleet.
+
+The paper customizes one process at a time; this package scales the
+same transactional checkpoint → rewrite → restore pipeline to N
+instances of a server behind a load balancer, with rollout strategies
+(canary / rolling), closed-loop health gates, fleet-wide rollback on
+any failure, and coverage-drift detection that re-enables features when
+wanted traffic starts trapping on the removal set.
+"""
+
+from .apps import FLEET_APPS, FleetApp, FleetAppError, get_app, profile_feature
+from .controller import (
+    FleetController,
+    FleetError,
+    FleetInstance,
+    InstanceState,
+)
+from .drift import DriftDetector, DriftEvent, DriftStatus
+from .policy import FleetPolicy, PolicyError, ProbeResult
+from .rollout import RolloutExecutor, RolloutReport, RolloutStep
+
+__all__ = [
+    "DriftDetector",
+    "DriftEvent",
+    "DriftStatus",
+    "FLEET_APPS",
+    "FleetApp",
+    "FleetAppError",
+    "FleetController",
+    "FleetError",
+    "FleetInstance",
+    "FleetPolicy",
+    "InstanceState",
+    "PolicyError",
+    "ProbeResult",
+    "RolloutExecutor",
+    "RolloutReport",
+    "RolloutStep",
+    "get_app",
+    "profile_feature",
+]

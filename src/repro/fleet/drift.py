@@ -1,0 +1,179 @@
+"""Coverage-drift detection: the paper's verifier mode as fleet policy.
+
+A feature removed while it was cold can become hot again — the paper's
+§3.2.3 answer is the verifier trap handler, which heals and logs per
+process.  DynaFleet promotes that signal to a fleet-wide control loop:
+
+1. every customized instance carries the injected trap handler (both
+   the ``verify`` and ``redirect`` policies log each trap address into
+   the in-library ring buffer before acting);
+2. the :class:`DriftDetector` periodically reads each instance's log
+   (:func:`~repro.core.read_verifier_log`) and attributes new entries
+   to the **active removal set** — the blocks the instance's engine
+   actually patched (:meth:`DynaCut.disabled_blocks`);
+3. attributed traps enter a sliding window of ``drift_window_ns``; when
+   the windowed count reaches ``drift_trap_threshold``, the policy's
+   ``drift_action`` fires: ``reenable`` rolls the drifted features back
+   across the whole fleet (wanted traffic stops trapping everywhere,
+   not just on the instance that happened to see it).
+
+Checks are driven from the workload loop (timeline events), so drift
+latency is bounded by the check cadence plus one re-enable rollout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import read_verifier_log
+from .controller import FleetController, FleetInstance
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """New traps on the active removal set, seen at one check."""
+
+    clock_ns: int
+    instance: str
+    feature: str
+    hits: int
+    offsets: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "clock_ns": self.clock_ns,
+            "instance": self.instance,
+            "feature": self.feature,
+            "hits": self.hits,
+            "offsets": list(self.offsets),
+        }
+
+
+@dataclass
+class DriftStatus:
+    """Accumulated drift observations and the trigger outcome."""
+
+    events: list[DriftEvent] = field(default_factory=list)
+    checks: int = 0
+    first_drift_ns: int | None = None
+    triggered: bool = False
+    triggered_ns: int | None = None
+    action: str = ""
+    reenabled: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "events": [event.to_dict() for event in self.events],
+            "first_drift_ns": self.first_drift_ns,
+            "triggered": self.triggered,
+            "triggered_ns": self.triggered_ns,
+            "action": self.action,
+            "reenabled": list(self.reenabled),
+        }
+
+
+class DriftDetector:
+    """Watches per-instance trap logs and reacts to workload drift."""
+
+    def __init__(self, controller: FleetController):
+        self.controller = controller
+        self.policy = controller.policy
+        self.status = DriftStatus()
+        #: (clock_ns, hits) observations inside the sliding window
+        self._window: list[tuple[int, int]] = []
+        # traps logged before the detector existed are history, not drift
+        for instance in controller.instances:
+            if instance.customized:
+                controller.sync_traps(instance)
+
+    # ------------------------------------------------------------------
+
+    def _active_offsets(self, instance: FleetInstance) -> dict[str, set[int]]:
+        """feature -> module-relative offsets of its patched blocks."""
+        offsets: dict[str, set[int]] = {}
+        for feature_name in self.policy.features:
+            blocks = instance.engine.disabled_blocks(
+                instance.root_pid, feature_name
+            )
+            if blocks:
+                offsets[feature_name] = {block.offset for block in blocks}
+        return offsets
+
+    def _scan_instance(self, instance: FleetInstance) -> list[DriftEvent]:
+        """New trap-log entries attributed to the active removal set."""
+        controller = self.controller
+        if not controller.alive(instance) or not instance.customized:
+            return []
+        proc = controller.process(instance)
+        report = read_verifier_log(controller.kernel, proc)
+        fresh = report.trapped_addresses[instance.traps_seen:]
+        instance.traps_seen = len(report.trapped_addresses)
+        if not fresh:
+            return []
+        base = controller.module_base(instance)
+        active = self._active_offsets(instance)
+        events = []
+        for feature_name, offsets in active.items():
+            hit_offsets = tuple(
+                address - base for address in fresh if address - base in offsets
+            )
+            if hit_offsets:
+                events.append(
+                    DriftEvent(
+                        clock_ns=controller.kernel.clock_ns,
+                        instance=instance.name,
+                        feature=feature_name,
+                        hits=len(hit_offsets),
+                        offsets=hit_offsets,
+                    )
+                )
+        return events
+
+    # ------------------------------------------------------------------
+
+    def check(self) -> bool:
+        """Poll every instance once; True when drift action triggered."""
+        self.status.checks += 1
+        now = self.controller.kernel.clock_ns
+        new_hits = 0
+        for instance in self.controller.instances:
+            for event in self._scan_instance(instance):
+                self.status.events.append(event)
+                new_hits += event.hits
+                if self.status.first_drift_ns is None:
+                    self.status.first_drift_ns = event.clock_ns
+        if new_hits:
+            self._window.append((now, new_hits))
+        horizon = now - self.policy.drift_window_ns
+        self._window = [(t, h) for t, h in self._window if t >= horizon]
+        windowed = sum(h for __, h in self._window)
+        if self.status.triggered or windowed < self.policy.drift_trap_threshold:
+            return False
+        self.status.triggered = True
+        self.status.triggered_ns = now
+        self.status.action = self.policy.drift_action
+        if self.policy.drift_action == "reenable":
+            self._reenable_fleet()
+        return True
+
+    def _reenable_fleet(self) -> None:
+        """Restore the drifted features on every customized instance."""
+        drifted = {event.feature for event in self.status.events}
+        controller = self.controller
+        for instance in controller.instances:
+            if not controller.alive(instance):
+                continue
+            restored = [
+                name for name in drifted
+                if name in instance.customized_features
+            ]
+            if not restored:
+                continue
+            controller.drain(instance)
+            try:
+                for feature_name in restored:
+                    controller.rollback_feature(instance, feature_name)
+            finally:
+                controller.rejoin(instance)
+            self.status.reenabled.append(instance.name)

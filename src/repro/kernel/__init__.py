@@ -30,6 +30,7 @@ from .filesystem import (
     O_WRONLY,
 )
 from .network import (
+    BackendPool,
     Connection,
     Endpoint,
     ListeningSocket,
@@ -44,6 +45,7 @@ from .kernel import HostSocket, Kernel, KernelConfig
 
 __all__ = [
     "AddressSpace",
+    "BackendPool",
     "Block",
     "CPU",
     "Connection",

@@ -101,12 +101,61 @@ class SocketDescriptor(Descriptor):
         self.bound_port: int | None = None
 
 
+@dataclass
+class BackendPool:
+    """Round-robin balancing across backend ports behind one frontend.
+
+    The pool is the substrate DynaFleet's load balancer is built on: a
+    *frontend port* that real listeners never bind, whose inbound
+    connections are spread over the registered backend ports.  Members
+    can be **drained** (kept registered, taken out of rotation — the
+    step before customizing an instance) and **rejoined**.  Backends
+    whose listener is currently gone (e.g. a process tree mid-
+    checkpoint) are skipped automatically, so one frozen instance never
+    turns into connection errors for balanced clients.
+    """
+
+    frontend_port: int
+    backends: list[int] = field(default_factory=list)
+    drained: set[int] = field(default_factory=set)
+    #: connections dispatched per backend port (observability)
+    dispatched: dict[int, int] = field(default_factory=dict)
+    _rr: int = 0
+
+    def add(self, port: int) -> None:
+        if port == self.frontend_port:
+            raise NetworkError("a backend cannot be its own frontend")
+        if port not in self.backends:
+            self.backends.append(port)
+            self.dispatched.setdefault(port, 0)
+
+    def remove(self, port: int) -> None:
+        if port in self.backends:
+            self.backends.remove(port)
+        self.drained.discard(port)
+
+    def drain(self, port: int) -> None:
+        if port not in self.backends:
+            raise NetworkError(f"port {port} is not a backend of this pool")
+        self.drained.add(port)
+
+    def rejoin(self, port: int) -> None:
+        if port not in self.backends:
+            raise NetworkError(f"port {port} is not a backend of this pool")
+        self.drained.discard(port)
+
+    def in_service(self) -> list[int]:
+        """Backends currently eligible for new connections."""
+        return [port for port in self.backends if port not in self.drained]
+
+
 class NetworkStack:
     """The loopback network shared by the kernel and host clients."""
 
     def __init__(self) -> None:
         self.ports: dict[int, ListeningSocket] = {}
         self.connections: dict[int, Connection] = {}
+        self.frontends: dict[int, BackendPool] = {}
         self._next_conn_id = 1
 
     # ------------------------------------------------------------------
@@ -115,6 +164,8 @@ class NetworkStack:
     def bind(self, sock: SocketDescriptor, port: int) -> bool:
         if port in self.ports and not self.ports[port].closed:
             return False
+        if port in self.frontends:
+            return False          # virtual balancer ports are reserved
         sock.bound_port = port
         return True
 
@@ -151,10 +202,61 @@ class NetworkStack:
         return listener
 
     # ------------------------------------------------------------------
+    # multi-backend balancing (frontend ports)
+
+    def register_frontend(
+        self, frontend_port: int, backends: list[int] | None = None
+    ) -> BackendPool:
+        """Reserve ``frontend_port`` as a balanced virtual port."""
+        if frontend_port in self.frontends:
+            raise NetworkError(f"frontend port {frontend_port} already registered")
+        listener = self.ports.get(frontend_port)
+        if listener is not None and not listener.closed:
+            raise NetworkError(
+                f"port {frontend_port} has a live listener; cannot balance over it"
+            )
+        pool = BackendPool(frontend_port)
+        for port in backends or []:
+            pool.add(port)
+        self.frontends[frontend_port] = pool
+        return pool
+
+    def release_frontend(self, frontend_port: int) -> None:
+        self.frontends.pop(frontend_port, None)
+
+    def _backend_listener(self, port: int) -> ListeningSocket | None:
+        listener = self.ports.get(port)
+        if listener is None or listener.closed:
+            return None
+        return listener
+
+    def _pick_backend(self, pool: BackendPool) -> int:
+        """Next in-service backend with a live listener, round robin."""
+        candidates = pool.in_service()
+        if candidates:
+            for step in range(len(candidates)):
+                port = candidates[(pool._rr + step) % len(candidates)]
+                if self._backend_listener(port) is not None:
+                    pool._rr = (pool._rr + step + 1) % len(candidates)
+                    pool.dispatched[port] = pool.dispatched.get(port, 0) + 1
+                    return port
+        raise NetworkError(
+            f"connection refused: no backend in service behind frontend "
+            f"{pool.frontend_port}"
+        )
+
+    # ------------------------------------------------------------------
     # connection lifecycle
 
     def connect(self, port: int) -> Endpoint:
-        """Open a connection to ``port``; returns the client endpoint."""
+        """Open a connection to ``port``; returns the client endpoint.
+
+        A frontend port resolves through its :class:`BackendPool` to a
+        live backend listener first (the load-balancer hop).
+        """
+        pool = self.frontends.get(port)
+        if pool is not None:
+            port = self._pick_backend(pool)
         listener = self.ports.get(port)
         if listener is None or listener.closed:
             raise NetworkError(f"connection refused: port {port}")

@@ -45,6 +45,10 @@ class TimelineResult:
     events_fired: list[tuple[int, str]] = field(default_factory=list)
     total_requests: int = 0
     failed_requests: int = 0
+    #: (offset ns, error repr) for requests that raised instead of
+    #: returning False — connection refused to a drained/mid-customize
+    #: backend, dropped replies, protocol errors
+    errors: list[tuple[int, str]] = field(default_factory=list)
 
     def throughput_series(self, bucket_ns: int) -> list[tuple[float, float]]:
         """(bucket start seconds, requests/second) pairs."""
@@ -65,12 +69,22 @@ def run_request_timeline(
     bucket_ns: int = SECOND_NS,
     events: list[TimelineEvent] | None = None,
     max_requests: int = 1_000_000,
+    tolerate_errors: bool = True,
 ) -> TimelineResult:
     """Drive ``request_once`` in a closed loop for ``duration_ns``.
 
     ``request_once`` issues one request and returns whether it
     succeeded; it is responsible for running the kernel until its reply
     arrives (both clients in this package do).
+
+    With ``tolerate_errors`` (the default), an exception out of
+    ``request_once`` counts as a failed request and is logged in
+    :attr:`TimelineResult.errors` instead of aborting the run — a
+    connection refused by a drained or mid-customization backend must
+    show up as a dip, not kill the workload.  Exceptions advance the
+    virtual clock by nothing on their own, so a refused connect cannot
+    spin the loop forever: the clock is nudged by one syscall cost per
+    error.  Pass ``tolerate_errors=False`` to re-raise (debugging).
     """
     events = sorted(events or [], key=lambda e: e.at_ns)
     pending = list(events)
@@ -84,7 +98,16 @@ def run_request_timeline(
             event = pending.pop(0)
             event.action()
             result.events_fired.append((kernel.clock_ns - start, event.label))
-        ok = request_once()
+        try:
+            ok = request_once()
+        except Exception as exc:  # noqa: BLE001 — failed request, not a bug
+            if not tolerate_errors:
+                raise
+            ok = False
+            result.errors.append((kernel.clock_ns - start, repr(exc)))
+            # a synchronous refusal burns no guest work; charge one
+            # kernel entry so an all-backends-down window still ends
+            kernel.clock_ns += kernel.config.syscall_cost_ns
         result.total_requests += 1
         if ok:
             # a request issued inside the window may complete just past

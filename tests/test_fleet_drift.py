@@ -1,0 +1,151 @@
+"""Tests for coverage-drift detection and adaptive re-enable."""
+
+from __future__ import annotations
+
+from repro.fleet import (
+    DriftDetector,
+    FleetController,
+    FleetPolicy,
+    RolloutExecutor,
+    get_app,
+)
+from repro.kernel import Kernel
+from repro.workloads import SECOND_NS, TimelineEvent, run_request_timeline
+
+
+def customized_fleet(size=2, **policy_kwargs):
+    policy_kwargs.setdefault("features", get_app("lighttpd").features)
+    policy_kwargs.setdefault("strategy", "rolling")
+    policy_kwargs.setdefault("max_unavailable", 1)
+    policy_kwargs.setdefault("probe_requests", 2)
+    controller = FleetController(
+        Kernel(), "lighttpd", FleetPolicy(**policy_kwargs), size=size
+    )
+    controller.spawn_fleet()
+    report = RolloutExecutor(controller).run()
+    assert report.completed
+    return controller
+
+
+class TestDriftDetection:
+    def test_no_drift_without_feature_traffic(self):
+        controller = customized_fleet()
+        detector = DriftDetector(controller)
+        for __ in range(3):
+            controller.app.wanted_request(
+                controller.kernel, controller.frontend_port
+            )
+            assert not detector.check()
+        assert detector.status.events == []
+        assert all(i.customized for i in controller.instances)
+
+    def test_probe_traps_are_not_drift(self):
+        # the rollout's own health probes deliberately hit the removal
+        # set; the detector must not count that history
+        controller = customized_fleet()
+        detector = DriftDetector(controller)
+        assert not detector.check()
+        assert detector.status.events == []
+
+    def test_feature_traffic_triggers_fleet_wide_reenable(self):
+        controller = customized_fleet(size=2, drift_trap_threshold=2)
+        detector = DriftDetector(controller)
+        for __ in range(4):           # balanced over both instances
+            controller.app.feature_request(
+                controller.kernel, controller.frontend_port, "dav-write"
+            )
+        assert detector.check()
+        status = detector.status
+        assert status.triggered
+        assert {event.feature for event in status.events} == {"dav-write"}
+        assert sorted(status.reenabled) == ["lighttpd-0", "lighttpd-1"]
+        # the fleet is pristine again and the feature serves everywhere
+        for instance in controller.instances:
+            assert not instance.customized
+            assert controller.app.feature_request(
+                controller.kernel, instance.port, "dav-write"
+            )
+
+    def test_ignore_action_logs_but_keeps_customization(self):
+        controller = customized_fleet(drift_action="ignore")
+        detector = DriftDetector(controller)
+        controller.app.feature_request(
+            controller.kernel, controller.frontend_port, "dav-write"
+        )
+        assert detector.check()
+        assert detector.status.triggered
+        assert detector.status.reenabled == []
+        assert all(i.customized for i in controller.instances)
+
+    def test_sliding_window_expires_old_traps(self):
+        controller = customized_fleet(
+            drift_trap_threshold=2, drift_window_ns=2 * SECOND_NS
+        )
+        detector = DriftDetector(controller)
+        controller.app.feature_request(
+            controller.kernel, controller.frontend_port, "dav-write"
+        )
+        assert not detector.check()       # 1 trap < threshold
+        controller.kernel.clock_ns += 3 * SECOND_NS
+        controller.app.feature_request(
+            controller.kernel, controller.frontend_port, "dav-write"
+        )
+        # the first trap has aged out of the window: still below threshold
+        assert not detector.check()
+        assert not detector.status.triggered
+
+    def test_status_serializes(self):
+        controller = customized_fleet()
+        detector = DriftDetector(controller)
+        controller.app.feature_request(
+            controller.kernel, controller.frontend_port, "dav-write"
+        )
+        detector.check()
+        payload = detector.status.to_dict()
+        assert payload["triggered"] is True
+        assert payload["events"][0]["feature"] == "dav-write"
+
+
+class TestDriftEndToEnd:
+    def test_workload_shift_reenables_within_drift_window(self):
+        """The acceptance scenario: a live workload drifts onto a removed
+        feature and the fleet adapts — automatic re-enable within the
+        policy's drift window of the first drifted trap."""
+        policy_window = 6 * SECOND_NS
+        controller = customized_fleet(
+            size=3, drift_window_ns=policy_window, drift_trap_threshold=2
+        )
+        detector = DriftDetector(controller)
+        app, kernel = controller.app, controller.kernel
+        shift_at = 3 * SECOND_NS
+        start = kernel.clock_ns
+
+        def request_once() -> bool:
+            if kernel.clock_ns - start < shift_at:
+                return app.wanted_request(kernel, controller.frontend_port)
+            # drifted mix: wanted traffic now includes the removed feature
+            app.wanted_request(kernel, controller.frontend_port)
+            app.feature_request(
+                kernel, controller.frontend_port, "dav-write"
+            )
+            return True
+
+        events = [
+            TimelineEvent(at_ns=i * SECOND_NS, label=f"drift-check-{i}",
+                          action=detector.check)
+            for i in range(1, 10)
+        ]
+        timeline = run_request_timeline(
+            kernel, request_once,
+            duration_ns=10 * SECOND_NS, events=events,
+        )
+        status = detector.status
+        assert timeline.failed_requests == 0
+        assert status.triggered
+        assert status.first_drift_ns is not None
+        assert status.triggered_ns - status.first_drift_ns <= policy_window
+        assert len(status.reenabled) == 3
+        assert all(not i.customized for i in controller.instances)
+        assert app.feature_request(
+            kernel, controller.frontend_port, "dav-write"
+        )

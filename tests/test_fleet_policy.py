@@ -1,0 +1,90 @@
+"""Tests for FleetPolicy validation and ProbeResult gating."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockMode, TrapPolicy
+from repro.fleet import FleetPolicy, PolicyError, ProbeResult
+
+
+class TestFleetPolicy:
+    def test_defaults_are_valid(self):
+        policy = FleetPolicy(features=("dav-write",))
+        assert policy.strategy == "canary"
+        assert policy.trap_policy_enum is TrapPolicy.REDIRECT
+        assert policy.block_mode_enum is BlockMode.ENTRY
+
+    def test_single_feature_string_coerced(self):
+        policy = FleetPolicy(features="dav-write")
+        assert policy.features == ("dav-write",)
+
+    def test_no_features_rejected(self):
+        with pytest.raises(PolicyError):
+            FleetPolicy(features=())
+
+    def test_terminate_policy_rejected(self):
+        # killing an in-service instance on a stray trap is never a
+        # fleet-safe policy
+        with pytest.raises(PolicyError, match="terminate"):
+            FleetPolicy(features=("f",), trap_policy="terminate")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"strategy": "big-bang"},
+        {"max_unavailable": 0},
+        {"probe_requests": 0},
+        {"probe_min_success": 1.5},
+        {"drift_window_ns": 0},
+        {"drift_trap_threshold": 0},
+        {"drift_action": "panic"},
+        {"block_mode": "everything"},
+    ])
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(PolicyError):
+            FleetPolicy(features=("f",), **kwargs)
+
+    def test_dict_roundtrip(self):
+        policy = FleetPolicy(
+            features=("a", "b"), strategy="rolling", max_unavailable=3,
+            trap_policy="verify", block_mode="all", probe_requests=9,
+        )
+        assert FleetPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(PolicyError, match="unknown"):
+            FleetPolicy.from_dict({"features": ["f"], "blast_radius": 1})
+
+
+class TestProbeResult:
+    def _policy(self, **kwargs):
+        return FleetPolicy(features=("f",), **kwargs)
+
+    def test_passes_when_healthy_and_blocked(self):
+        probe = ProbeResult(
+            instance="i", sent=4, succeeded=4, features_blocked={"f": True}
+        )
+        assert probe.success_rate == 1.0
+        assert probe.passed(self._policy())
+
+    def test_fails_below_min_success(self):
+        probe = ProbeResult(
+            instance="i", sent=4, succeeded=3, features_blocked={"f": True}
+        )
+        assert not probe.passed(self._policy())
+        assert probe.passed(self._policy(probe_min_success=0.5))
+
+    def test_fails_when_feature_still_served(self):
+        probe = ProbeResult(
+            instance="i", sent=4, succeeded=4, features_blocked={"f": False}
+        )
+        assert not probe.passed(self._policy())
+        # the blocked-check can be waived by policy
+        assert probe.passed(self._policy(probe_check_blocked=False))
+
+    def test_blocked_check_skipped_for_verify_policy(self):
+        # under VERIFY the first feature request heals the block, so
+        # "still served" is the expected outcome, not a gate failure
+        probe = ProbeResult(
+            instance="i", sent=4, succeeded=4, features_blocked={"f": False}
+        )
+        assert probe.passed(self._policy(trap_policy="verify"))

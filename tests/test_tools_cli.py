@@ -140,3 +140,58 @@ class TestDynalintCli:
         out = capsys.readouterr().out
         assert code == 1
         assert "DL" in out
+
+
+class TestFleetCli:
+    def test_rollout_writes_clean_report(self, tmp_path, capsys):
+        from repro.tools import fleet_cli
+
+        out = tmp_path / "fleet.json"
+        code = fleet_cli.main([
+            "rollout", "--size", "2", "--max-unavailable", "1",
+            "--duration", "20", "--probe-requests", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["clean"]
+        assert payload["rollout"]["state"] == "completed"
+        assert payload["workload"]["failed_requests"] == 0
+        assert "CLEAN" in capsys.readouterr().out
+
+    def test_rollout_with_fault_expects_abort(self, tmp_path, capsys):
+        from repro.tools import fleet_cli
+
+        out = tmp_path / "fleet.json"
+        code = fleet_cli.main([
+            "rollout", "--size", "2", "--duration", "20",
+            "--probe-requests", "2",
+            "--fault", "restore.memory:permanent",
+            "--output", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["rollout"]["state"] == "aborted"
+        assert payload["clean"]
+
+    def test_drift_mode_reenables(self, tmp_path, capsys):
+        from repro.tools import fleet_cli
+
+        out = tmp_path / "fleet.json"
+        code = fleet_cli.main([
+            "drift", "--size", "2", "--duration", "8",
+            "--probe-requests", "2", "--output", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["drift"]["triggered"]
+        assert payload["feature_served_after_reenable"]
+
+    def test_unknown_fault_site_rejected(self, tmp_path):
+        from repro.tools import fleet_cli
+
+        with pytest.raises(SystemExit):
+            fleet_cli.main([
+                "rollout", "--size", "2", "--fault", "bogus.site",
+                "--output", str(tmp_path / "x.json"),
+            ])

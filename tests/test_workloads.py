@@ -109,3 +109,76 @@ class TestTimelineDriver:
         assert len(series) == 4
         # requests/second = bucket count * 2 for half-second buckets
         assert series[0][1] == result.points[0].completed * 2
+
+
+class TestTimelineErrorPaths:
+    """The driver against a backend that is mid-customization: drained
+    from its balancer pool or with its listener gone entirely."""
+
+    def test_connection_refused_is_tolerated_and_logged(self, redis_server):
+        kernel, proc, client = redis_server
+        client.set("hot", "1")
+
+        def fail_listener() -> None:
+            kernel.net.release_port(REDIS_PORT)   # listener vanishes
+            client.close()                        # force a reconnect
+
+        result = run_request_timeline(
+            kernel, lambda: client.get("hot") == "1",
+            duration_ns=3 * SECOND_NS,
+            events=[TimelineEvent(1 * SECOND_NS, "down", fail_listener)],
+            max_requests=2000,
+        )
+        # the run finished: refused connects became failed requests,
+        # not an exception out of the driver, and not an infinite loop
+        assert result.failed_requests > 0
+        assert result.errors
+        assert result.failed_requests == len(result.errors)
+        assert result.total_requests == (
+            sum(p.completed for p in result.points) + result.failed_requests
+        )
+        offset, text = result.errors[0]
+        assert offset >= 1 * SECOND_NS
+        assert "refused" in text
+
+    def test_drained_balancer_pool_shows_dip_not_crash(self, redis_server):
+        kernel, proc, client = redis_server
+        client.set("hot", "1")
+        pool = kernel.net.register_frontend(6378, backends=[REDIS_PORT])
+        from repro.workloads import RedisClient
+
+        balanced = RedisClient(kernel, 6378)
+
+        def drain() -> None:
+            balanced.close()                      # no connection reuse
+            pool.drain(REDIS_PORT)
+
+        def rejoin() -> None:
+            pool.rejoin(REDIS_PORT)
+
+        # a refused connect only advances the clock by one syscall cost,
+        # so keep the outage window short enough to cross on errors alone
+        outage_ns = 100 * kernel.config.syscall_cost_ns
+        result = run_request_timeline(
+            kernel, lambda: balanced.get("hot") == "1",
+            duration_ns=3 * SECOND_NS,
+            events=[
+                TimelineEvent(1 * SECOND_NS, "drain", drain),
+                TimelineEvent(1 * SECOND_NS + outage_ns, "rejoin", rejoin),
+            ],
+            max_requests=5000,
+        )
+        assert result.failed_requests > 0
+        assert any("no backend in service" in text for __, text in result.errors)
+        # service recovered after the rejoin: the final bucket completed work
+        assert result.points[-1].completed > 0
+
+    def test_tolerate_errors_false_reraises(self, redis_server):
+        kernel, proc, client = redis_server
+        kernel.net.release_port(REDIS_PORT)
+        client.close()
+        with pytest.raises(Exception):
+            run_request_timeline(
+                kernel, lambda: client.get("hot") == "1",
+                duration_ns=1 * SECOND_NS, tolerate_errors=False,
+            )
