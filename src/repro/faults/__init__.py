@@ -17,7 +17,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from .plan import (
+    ALL_SITES,
     KINDS,
+    KNOWN_FLEET_SITES,
     KNOWN_SITES,
     FaultError,
     FaultPlan,
@@ -80,12 +82,14 @@ def shielded():
 
 
 __all__ = [
+    "ALL_SITES",
     "FaultError",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "InjectionRecord",
     "KINDS",
+    "KNOWN_FLEET_SITES",
     "KNOWN_SITES",
     "PermanentFault",
     "TransientFault",

@@ -40,6 +40,21 @@ KNOWN_SITES = frozenset(
     }
 )
 
+#: fleet-supervision sites (see docs/fleet.md).  Kept separate from
+#: KNOWN_SITES because they are visited by the fleet control plane, not
+#: by a single customize() transaction — the chaos matrix over
+#: KNOWN_SITES requires every site to be reachable from disable_feature
+KNOWN_FLEET_SITES = frozenset(
+    {
+        "fleet.instance_crash",         # abrupt SIGKILL of one instance's tree
+        "fleet.restore_image_corrupt",  # committed image unreadable at recovery
+        "fleet.probe_hang",             # heartbeat probe times out (wedged)
+    }
+)
+
+#: everything arm() accepts
+ALL_SITES = KNOWN_SITES | KNOWN_FLEET_SITES
+
 KINDS = ("transient", "permanent")
 
 
@@ -145,10 +160,10 @@ class FaultPlan:
         torn: bool = False,
     ) -> "FaultPlan":
         """Arm one fault spec; returns ``self`` for chaining."""
-        if site not in KNOWN_SITES:
+        if site not in ALL_SITES:
             raise FaultError(
                 f"unknown injection site {site!r}; known sites: "
-                + ", ".join(sorted(KNOWN_SITES))
+                + ", ".join(sorted(ALL_SITES))
             )
         if kind not in KINDS:
             raise FaultError(f"unknown fault kind {kind!r}; use transient/permanent")

@@ -4,8 +4,10 @@ The paper customizes one process at a time; this package scales the
 same transactional checkpoint → rewrite → restore pipeline to N
 instances of a server behind a load balancer, with rollout strategies
 (canary / rolling), closed-loop health gates, fleet-wide rollback on
-any failure, and coverage-drift detection that re-enables features when
-wanted traffic starts trapping on the removal set.
+any failure, coverage-drift detection that re-enables features when
+wanted traffic starts trapping on the removal set, and DynaGuard
+supervision that recovers crashed instances from their committed
+checkpoint images (see :mod:`repro.fleet.supervisor`).
 """
 
 from .apps import FLEET_APPS, FleetApp, FleetAppError, get_app, profile_feature
@@ -16,8 +18,15 @@ from .controller import (
     InstanceState,
 )
 from .drift import DriftDetector, DriftEvent, DriftStatus
+from .health import HealthError, HealthRecord, HealthState
 from .policy import FleetPolicy, PolicyError, ProbeResult
 from .rollout import RolloutExecutor, RolloutReport, RolloutStep
+from .supervisor import (
+    FleetSupervisor,
+    RecoveryOutcome,
+    SupervisorEvent,
+    inject_chaos,
+)
 
 __all__ = [
     "DriftDetector",
@@ -30,12 +39,19 @@ __all__ = [
     "FleetError",
     "FleetInstance",
     "FleetPolicy",
+    "FleetSupervisor",
+    "HealthError",
+    "HealthRecord",
+    "HealthState",
     "InstanceState",
     "PolicyError",
     "ProbeResult",
+    "RecoveryOutcome",
     "RolloutExecutor",
     "RolloutReport",
     "RolloutStep",
+    "SupervisorEvent",
     "get_app",
+    "inject_chaos",
     "profile_feature",
 ]

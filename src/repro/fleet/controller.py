@@ -43,6 +43,7 @@ class InstanceState(Enum):
     DRAINED = "drained"
     CUSTOMIZING = "customizing"
     FAILED = "failed"
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -57,6 +58,9 @@ class FleetInstance:
     state: InstanceState = InstanceState.IN_SERVICE
     #: trap-log entries already attributed by the drift detector
     traps_seen: int = 0
+    #: serving without (all of) its customizations: the supervisor
+    #: respawned it pristine, or the trap-storm breaker demoted it
+    degraded: bool = False
 
     @property
     def customized_features(self) -> list[str]:
@@ -106,6 +110,7 @@ class FleetController:
         for feature in self.policy.features:
             self.features[feature] = profile_feature(self.app, feature)
         self.pool = self.kernel.net.register_frontend(self.frontend_port)
+        self.pool.failover_budget = self.policy.failover_budget
         for index in range(self.size):
             port = self.base_port + index
             proc = self.app.stage(self.kernel, port)
@@ -157,8 +162,17 @@ class FleetController:
 
     def rejoin(self, instance: FleetInstance) -> None:
         assert self.pool is not None
+        if not self.alive(instance):
+            raise FleetError(
+                f"{instance.name}: refusing to rejoin — pid "
+                f"{instance.root_pid} is not alive; recover it first "
+                f"(a dead listener in the pool turns into refused "
+                f"connections for balanced clients)"
+            )
         self.pool.rejoin(instance.port)
-        if instance.state is not InstanceState.FAILED:
+        if instance.state not in (
+            InstanceState.FAILED, InstanceState.QUARANTINED
+        ):
             instance.state = InstanceState.IN_SERVICE
 
     # ------------------------------------------------------------------
@@ -208,6 +222,14 @@ class FleetController:
 
     def rollback(self, instance: FleetInstance) -> list[str]:
         """Restore every feature this controller removed from ``instance``."""
+        if not self.alive(instance):
+            journal = instance.engine.last_journal
+            phase = journal.phase if journal is not None else "none"
+            raise FleetError(
+                f"{instance.name}: cannot roll back a dead instance (pid "
+                f"{instance.root_pid}, last journal phase {phase!r}); "
+                f"recover it from its committed image first"
+            )
         restored = []
         for feature_name in reversed(self.policy.features):
             if feature_name in instance.customized_features:
@@ -275,7 +297,9 @@ class FleetController:
                 "backends": list(self.pool.backends),
                 "in_service": self.pool.in_service(),
                 "drained": sorted(self.pool.drained),
+                "down": sorted(self.pool.down),
                 "dispatched": dict(self.pool.dispatched),
+                "failovers": dict(self.pool.failovers),
             },
             "instances": [
                 {
@@ -284,6 +308,7 @@ class FleetController:
                     "pid": instance.root_pid,
                     "alive": self.alive(instance),
                     "state": instance.state.value,
+                    "degraded": instance.degraded,
                     "customized_features": instance.customized_features,
                     "rewrites": len(instance.engine.history),
                     "traps_seen": instance.traps_seen,

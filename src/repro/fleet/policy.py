@@ -60,6 +60,18 @@ class FleetPolicy:
     drift_trap_threshold: int = 1
     #: "reenable" (restore the feature fleet-wide) or "ignore" (log only)
     drift_action: str = "reenable"
+    #: supervision: minimum virtual time between supervisor heartbeats
+    heartbeat_interval_ns: int = SECOND_NS
+    #: consecutive failed probes before SUSPECT becomes DOWN
+    suspect_threshold: int = 2
+    #: consecutive failed recoveries before an instance is quarantined
+    quarantine_limit: int = 3
+    #: extra backends one balanced connect may try after a dead pick
+    failover_budget: int = 1
+    #: trap-storm circuit breaker: removal-set traps within this window...
+    trap_storm_window_ns: int = 5 * SECOND_NS
+    #: ...needed to demote the trapping instance (re-enable locally)
+    trap_storm_threshold: int = 4
 
     def __post_init__(self) -> None:
         if isinstance(self.features, str):
@@ -97,6 +109,18 @@ class FleetPolicy:
                 f"unknown drift action {self.drift_action!r}; use one of "
                 f"{DRIFT_ACTIONS}"
             )
+        if self.heartbeat_interval_ns <= 0:
+            raise PolicyError("heartbeat_interval_ns must be positive")
+        if self.suspect_threshold < 1:
+            raise PolicyError("suspect_threshold must be >= 1")
+        if self.quarantine_limit < 1:
+            raise PolicyError("quarantine_limit must be >= 1")
+        if self.failover_budget < 0:
+            raise PolicyError("failover_budget must be >= 0")
+        if self.trap_storm_window_ns <= 0:
+            raise PolicyError("trap_storm_window_ns must be positive")
+        if self.trap_storm_threshold < 1:
+            raise PolicyError("trap_storm_threshold must be >= 1")
 
     # ------------------------------------------------------------------
     # enum bridges into the single-process engine

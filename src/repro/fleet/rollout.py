@@ -227,6 +227,13 @@ class RolloutExecutor:
         """Halt the rollout and roll every customized instance back."""
         controller = self.controller
         for instance in controller.instances:
+            if not controller.alive(instance):
+                # a dead instance cannot be rolled back (or rejoined) —
+                # that is the supervisor's job, from the committed image
+                self._record(
+                    instance.name, "rollback", "skipped", "instance dead"
+                )
+                continue
             if instance.customized:
                 controller.rollback(instance)
                 self.report.rolled_back.append(instance.name)

@@ -215,6 +215,36 @@ class Kernel:
         if proc is not None and proc.alive:
             self.post_signal(proc, PendingSignal(signal))
 
+    def crash_process(self, pid: int) -> list[int]:
+        """Abruptly kill ``pid`` and its whole subtree (power-cut SIGKILL).
+
+        Unlike :meth:`terminate`, nothing gets a chance to clean up:
+        established peers see EOF, but the tree's listening ports stay in
+        the network table marked *orphaned* — exactly the stale state a
+        load balancer sees after a backend dies, and what the fleet
+        supervisor must detect and clear.  Returns the pids crashed.
+        """
+        proc = self.processes.get(pid)
+        if proc is None or not proc.alive:
+            return []
+        crashed: list[int] = []
+        for child_pid in list(proc.children):
+            crashed += self.crash_process(child_pid)
+        proc.state = ProcessState.ZOMBIE
+        proc.exit_code = None
+        proc.term_signal = Signal.SIGKILL
+        for descriptor in proc.fds.values():
+            if isinstance(descriptor, SocketDescriptor):
+                if descriptor.endpoint is not None:
+                    descriptor.endpoint.close()
+                if descriptor.listener is not None and not self._listener_shared(
+                    proc, descriptor
+                ):
+                    descriptor.listener.orphaned = True
+        proc.fds.clear()
+        crashed.append(pid)
+        return crashed
+
     def post_signal(self, proc: Process, pending: PendingSignal) -> None:
         proc.pending_signals.append(pending)
         # signals interrupt blocking syscalls

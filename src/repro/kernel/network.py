@@ -24,6 +24,15 @@ class NetworkError(Exception):
     """Host-level misuse of the network API."""
 
 
+class NoBackendAvailable(NetworkError):
+    """Every backend behind a frontend is drained, down, or dead.
+
+    Distinct from a generic :class:`NetworkError` so balanced clients
+    (and the workload driver) can tell "the whole pool is gone" apart
+    from a single refused port.
+    """
+
+
 @dataclass
 class Endpoint:
     """One side of a TCP connection."""
@@ -86,6 +95,10 @@ class ListeningSocket:
     port: int
     backlog: deque[Connection] = field(default_factory=deque)
     closed: bool = False
+    #: the owning process died abruptly (SIGKILL): the port is still in
+    #: the table — the balancer's stale view — but no process will ever
+    #: accept, so new connects are refused rather than queued
+    orphaned: bool = False
 
     @property
     def has_pending(self) -> bool:
@@ -118,8 +131,16 @@ class BackendPool:
     frontend_port: int
     backends: list[int] = field(default_factory=list)
     drained: set[int] = field(default_factory=set)
+    #: backends the balancer has marked unhealthy (crashed listener
+    #: discovered at dispatch, or the supervisor taking one DOWN)
+    down: set[int] = field(default_factory=set)
+    #: how many extra backends one connect may try after landing on a
+    #: dead one (0 = fail immediately, the pre-failover behaviour)
+    failover_budget: int = 1
     #: connections dispatched per backend port (observability)
     dispatched: dict[int, int] = field(default_factory=dict)
+    #: connections re-routed away from each dead backend (observability)
+    failovers: dict[int, int] = field(default_factory=dict)
     _rr: int = 0
 
     def add(self, port: int) -> None:
@@ -133,6 +154,7 @@ class BackendPool:
         if port in self.backends:
             self.backends.remove(port)
         self.drained.discard(port)
+        self.down.discard(port)
 
     def drain(self, port: int) -> None:
         if port not in self.backends:
@@ -143,10 +165,32 @@ class BackendPool:
         if port not in self.backends:
             raise NetworkError(f"port {port} is not a backend of this pool")
         self.drained.discard(port)
+        self.down.discard(port)
+
+    def mark_down(self, port: int) -> None:
+        if port not in self.backends:
+            raise NetworkError(f"port {port} is not a backend of this pool")
+        self.down.add(port)
+
+    def mark_up(self, port: int) -> None:
+        if port not in self.backends:
+            raise NetworkError(f"port {port} is not a backend of this pool")
+        self.down.discard(port)
+
+    def record_failover(self, port: int) -> None:
+        self.failovers[port] = self.failovers.get(port, 0) + 1
+
+    @property
+    def total_failovers(self) -> int:
+        return sum(self.failovers.values())
 
     def in_service(self) -> list[int]:
         """Backends currently eligible for new connections."""
-        return [port for port in self.backends if port not in self.drained]
+        return [
+            port
+            for port in self.backends
+            if port not in self.drained and port not in self.down
+        ]
 
 
 class NetworkStack:
@@ -231,18 +275,44 @@ class NetworkStack:
         return listener
 
     def _pick_backend(self, pool: BackendPool) -> int:
-        """Next in-service backend with a live listener, round robin."""
+        """Next in-service backend with a bound listener, round robin.
+
+        Selection only — no dispatch accounting.  Backends whose port has
+        no listener at all are skipped (a tree mid-checkpoint); *orphaned*
+        listeners are **not** skipped here, because the balancer's view is
+        stale until a dispatch actually bounces — that discovery and the
+        failover retry happen in :meth:`_route`.
+        """
         candidates = pool.in_service()
         if candidates:
             for step in range(len(candidates)):
                 port = candidates[(pool._rr + step) % len(candidates)]
                 if self._backend_listener(port) is not None:
                     pool._rr = (pool._rr + step + 1) % len(candidates)
-                    pool.dispatched[port] = pool.dispatched.get(port, 0) + 1
                     return port
-        raise NetworkError(
+        raise NoBackendAvailable(
             f"connection refused: no backend in service behind frontend "
             f"{pool.frontend_port}"
+        )
+
+    def _route(self, pool: BackendPool) -> int:
+        """Resolve a frontend connect to a live backend, with failover.
+
+        A pick that lands on an orphaned listener (owner crashed, port
+        still in the balancer's view) marks that backend down and retries
+        on the next live one, bounded by the pool's failover budget.
+        """
+        for _attempt in range(pool.failover_budget + 1):
+            port = self._pick_backend(pool)
+            listener = self._backend_listener(port)
+            if listener is not None and not listener.orphaned:
+                pool.dispatched[port] = pool.dispatched.get(port, 0) + 1
+                return port
+            pool.mark_down(port)
+            pool.record_failover(port)
+        raise NoBackendAvailable(
+            f"connection refused: failover budget ({pool.failover_budget}) "
+            f"exhausted behind frontend {pool.frontend_port}"
         )
 
     # ------------------------------------------------------------------
@@ -256,10 +326,14 @@ class NetworkStack:
         """
         pool = self.frontends.get(port)
         if pool is not None:
-            port = self._pick_backend(pool)
+            port = self._route(pool)
         listener = self.ports.get(port)
         if listener is None or listener.closed:
             raise NetworkError(f"connection refused: port {port}")
+        if listener.orphaned:
+            raise NetworkError(
+                f"connection refused: port {port} (no accepting process)"
+            )
         conn_id = self._next_conn_id
         self._next_conn_id += 1
         a = Endpoint(conn_id, "a")

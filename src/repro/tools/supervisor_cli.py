@@ -1,0 +1,220 @@
+"""``supervisor`` CLI — seeded chaos campaigns against DynaGuard.
+
+Each seed builds a fresh customized fleet, puts it under a closed-loop
+balanced workload, and arms one of four seeded failure scenarios:
+
+* ``crash``   — probabilistic SIGKILLs of instance trees mid-window;
+* ``wedge``   — probe hangs that walk instances HEALTHY → SUSPECT →
+  DOWN without the process dying;
+* ``corrupt`` — a crash whose committed image is then unreadable at
+  recovery, forcing the pristine-respawn fallback;
+* ``quarantine`` — a crash whose restores fail permanently until the
+  instance is quarantined.
+
+Crashes are injected *between* heartbeats (x.5 s against ticks on whole
+seconds), so the balancer serves from a stale view for half a virtual
+second and connection failover is actually exercised.  A campaign seed
+is **clean** when the fleet settles with every instance HEALTHY or
+cleanly QUARANTINED, every request is accounted (served, failed over,
+or logged as failed), and the injection log matches the armed plan.
+
+Results go to ``results/supervisor_chaos.json`` (or ``--output``).
+
+Usage::
+
+    python -m repro.tools.supervisor_cli [--seeds 20] [--seed-base 100]
+        [--size 4] [--app lighttpd] [--duration 12] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from random import Random
+
+from ..faults import FaultPlan
+from ..fleet import (
+    FleetController,
+    FleetPolicy,
+    FleetSupervisor,
+    HealthState,
+    RolloutExecutor,
+    get_app,
+    inject_chaos,
+)
+from ..kernel import Kernel
+from ..workloads import SECOND_NS, TimelineEvent, run_request_timeline
+
+SCENARIOS = ("crash", "wedge", "corrupt", "quarantine")
+#: bounded post-workload settling: heartbeats until the fleet is quiet
+SETTLE_TICKS = 12
+
+
+def _arm_scenario(plan: FaultPlan, scenario: str, rng: Random) -> None:
+    if scenario == "crash":
+        plan.arm(
+            "fleet.instance_crash", "transient",
+            probability=0.25, times=rng.randint(1, 2),
+        )
+    elif scenario == "corrupt":
+        plan.arm(
+            "fleet.instance_crash", "transient",
+            on_call=rng.randint(1, 4), times=1,
+        )
+        plan.arm("fleet.restore_image_corrupt", "permanent", on_call=1)
+    elif scenario == "quarantine":
+        plan.arm(
+            "fleet.instance_crash", "transient",
+            on_call=rng.randint(1, 4), times=1,
+        )
+        plan.arm("restore.memory", "permanent", probability=1.0, times=0)
+
+
+def run_campaign(args, seed: int) -> dict:
+    rng = Random(seed)
+    scenario = rng.choice(SCENARIOS)
+    app = get_app(args.app)
+    policy = FleetPolicy(
+        features=app.features,
+        strategy="rolling",
+        max_unavailable=args.size,
+        probe_requests=2,
+    )
+    controller = FleetController(Kernel(), app, policy, size=args.size)
+    controller.spawn_fleet()
+    RolloutExecutor(controller).run()      # customize offline, then guard
+    supervisor = FleetSupervisor(controller)
+    kernel, pool = controller.kernel, controller.pool
+
+    plan = FaultPlan(seed=seed)
+    if scenario == "wedge":
+        # every probe hangs for `suspect_threshold` consecutive ticks:
+        # the whole fleet walks to DOWN and must recover, processes alive
+        plan.arm(
+            "fleet.probe_hang", "transient", probability=1.0,
+            times=args.size * policy.suspect_threshold,
+        )
+    else:
+        _arm_scenario(plan, scenario, rng)
+
+    events = [
+        TimelineEvent(
+            at_ns=second * SECOND_NS, label=f"tick-{second}",
+            action=supervisor.tick,
+        )
+        for second in range(1, args.duration)
+    ] + [
+        TimelineEvent(
+            at_ns=int((offset + 0.5) * SECOND_NS), label=f"chaos-{offset}",
+            action=lambda: inject_chaos(controller),
+        )
+        for offset in range(2, args.duration - 3, 3)
+    ]
+    with plan:
+        timeline = run_request_timeline(
+            kernel,
+            lambda: app.wanted_request(kernel, controller.frontend_port),
+            duration_ns=args.duration * SECOND_NS,
+            events=events,
+            failover_meter=lambda: pool.total_failovers,
+        )
+        # bounded settling: give in-flight recoveries their heartbeats
+        for __ in range(SETTLE_TICKS):
+            if supervisor.settled:
+                break
+            kernel.clock_ns += policy.heartbeat_interval_ns
+            supervisor.tick()
+
+    states = {
+        name: record.state.value
+        for name, record in supervisor.records.items()
+    }
+    served = sum(point.completed for point in timeline.points)
+    accounted = timeline.total_requests == served + timeline.failed_requests
+    quarantined = [
+        name for name, record in supervisor.records.items()
+        if record.state is HealthState.QUARANTINED
+    ]
+    ok = supervisor.settled and accounted and plan.consistent_with_plan()
+    return {
+        "seed": seed,
+        "scenario": scenario,
+        "ok": ok,
+        "settled": supervisor.settled,
+        "accounted": accounted,
+        "states": states,
+        "quarantined": quarantined,
+        "recoveries": [
+            {"instance": o.instance, "succeeded": o.succeeded, "source": o.source}
+            for o in supervisor.recoveries
+        ],
+        "faults_fired": [
+            {"site": r.site, "call": r.call_index, "kind": r.kind}
+            for r in plan.log
+        ],
+        "events": [e.to_dict() for e in supervisor.events],
+        "workload": {
+            "total_requests": timeline.total_requests,
+            "served": served,
+            "failed_requests": timeline.failed_requests,
+            "failed_over_requests": timeline.failed_over_requests,
+            "errors": len(timeline.errors),
+        },
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="supervisor")
+    parser.add_argument("--seeds", type=int, default=20)
+    parser.add_argument("--seed-base", type=int, default=100)
+    parser.add_argument("--app", default="lighttpd",
+                        choices=("lighttpd", "nginx", "redis"))
+    parser.add_argument("--size", type=int, default=4)
+    parser.add_argument("--duration", type=int, default=12,
+                        help="workload duration in virtual seconds")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("results/supervisor_chaos.json"))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    campaigns = []
+    for index in range(args.seeds):
+        seed = args.seed_base + index
+        campaign = run_campaign(args, seed)
+        campaigns.append(campaign)
+        workload = campaign["workload"]
+        print(
+            f"seed {seed} [{campaign['scenario']:<10}] "
+            f"{'ok' if campaign['ok'] else 'VIOLATED'}: "
+            f"{len(campaign['recoveries'])} recoveries, "
+            f"{len(campaign['quarantined'])} quarantined, "
+            f"{workload['total_requests']} reqs "
+            f"({workload['failed_over_requests']} failed over, "
+            f"{workload['failed_requests']} failed)"
+        )
+    clean = all(c["ok"] for c in campaigns)
+    payload = {
+        "app": args.app,
+        "size": args.size,
+        "duration_s": args.duration,
+        "clean": clean,
+        "campaigns_total": len(campaigns),
+        "campaigns_ok": sum(1 for c in campaigns if c["ok"]),
+        "campaigns": campaigns,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"{'CLEAN' if clean else 'VIOLATED'} "
+        f"({payload['campaigns_ok']}/{payload['campaigns_total']}) "
+        f"-> {args.output}"
+    )
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,11 @@ class TimelineResult:
     #: returning False — connection refused to a drained/mid-customize
     #: backend, dropped replies, protocol errors
     errors: list[tuple[int, str]] = field(default_factory=list)
+    #: requests that succeeded only after the balancer failed over away
+    #: from a dead backend — served, but distinct from clean successes
+    failed_over_requests: int = 0
+    #: (offset ns, failover count) per request that observed failovers
+    failover_events: list[tuple[int, int]] = field(default_factory=list)
 
     def throughput_series(self, bucket_ns: int) -> list[tuple[float, float]]:
         """(bucket start seconds, requests/second) pairs."""
@@ -70,6 +75,7 @@ def run_request_timeline(
     events: list[TimelineEvent] | None = None,
     max_requests: int = 1_000_000,
     tolerate_errors: bool = True,
+    failover_meter: Callable[[], int] | None = None,
 ) -> TimelineResult:
     """Drive ``request_once`` in a closed loop for ``duration_ns``.
 
@@ -85,6 +91,13 @@ def run_request_timeline(
     virtual clock by nothing on their own, so a refused connect cannot
     spin the loop forever: the clock is nudged by one syscall cost per
     error.  Pass ``tolerate_errors=False`` to re-raise (debugging).
+
+    ``failover_meter`` (e.g. ``lambda: pool.total_failovers``) is
+    sampled around every request; a request during which the meter
+    advanced is counted in :attr:`TimelineResult.failed_over_requests`
+    — served, but only because the balancer routed around a dead
+    backend.  Failovers are accounted separately from failures: the
+    accounting identity ``total = sum(buckets) + failed`` still holds.
     """
     events = sorted(events or [], key=lambda e: e.at_ns)
     pending = list(events)
@@ -98,6 +111,7 @@ def run_request_timeline(
             event = pending.pop(0)
             event.action()
             result.events_fired.append((kernel.clock_ns - start, event.label))
+        meter_before = failover_meter() if failover_meter is not None else 0
         try:
             ok = request_once()
         except Exception as exc:  # noqa: BLE001 — failed request, not a bug
@@ -108,6 +122,11 @@ def run_request_timeline(
             # a synchronous refusal burns no guest work; charge one
             # kernel entry so an all-backends-down window still ends
             kernel.clock_ns += kernel.config.syscall_cost_ns
+        if failover_meter is not None:
+            delta = failover_meter() - meter_before
+            if delta > 0:
+                result.failed_over_requests += 1
+                result.failover_events.append((kernel.clock_ns - start, delta))
         result.total_requests += 1
         if ok:
             # a request issued inside the window may complete just past

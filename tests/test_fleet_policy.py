@@ -38,6 +38,13 @@ class TestFleetPolicy:
         {"drift_trap_threshold": 0},
         {"drift_action": "panic"},
         {"block_mode": "everything"},
+        {"heartbeat_interval_ns": 0},
+        {"heartbeat_interval_ns": -1},
+        {"suspect_threshold": 0},
+        {"quarantine_limit": 0},
+        {"failover_budget": -1},
+        {"trap_storm_window_ns": 0},
+        {"trap_storm_threshold": 0},
     ])
     def test_invalid_fields_rejected(self, kwargs):
         with pytest.raises(PolicyError):
@@ -49,6 +56,15 @@ class TestFleetPolicy:
             trap_policy="verify", block_mode="all", probe_requests=9,
         )
         assert FleetPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_supervisor_knobs_roundtrip(self):
+        policy = FleetPolicy(
+            features=("f",), heartbeat_interval_ns=2_000_000_000,
+            suspect_threshold=3, quarantine_limit=5, failover_budget=2,
+            trap_storm_window_ns=7_000_000_000, trap_storm_threshold=9,
+        )
+        assert FleetPolicy.from_dict(policy.to_dict()) == policy
+        assert policy.failover_budget == 2
 
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(PolicyError, match="unknown"):
