@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
-from .. import faults
+from .. import faults, telemetry
 from ..analysis.lint import LintReport, lint_checkpoint
 from ..analysis.reachability import RemovalClassification, refine_removal_set
 from ..binfmt.self_format import SelfImage
@@ -218,39 +218,45 @@ class DynaCut:
         journal = TxJournal(self.kernel.fs, self.image_dir)
         self.last_journal = journal
         failures = 0
-        while True:
-            attempt = failures + 1
-            state = _TxState()
-            journal.record(PHASE_BEGIN, attempt, self.kernel.clock_ns)
-            try:
-                report = self._run_attempt(
-                    root_pid, actions, journal, attempt, state
-                )
-            except TransientFault as fault:
-                failures += 1
-                self._rollback(journal, attempt, state, note=str(fault))
-                if failures >= self.max_attempts:
-                    self._abort(
-                        journal, attempt, state, fault,
-                        f"transient-fault retry budget exhausted "
-                        f"({self.max_attempts} attempts)",
+        with telemetry.span(
+            "customize", clock=lambda: self.kernel.clock_ns, pid=root_pid
+        ):
+            while True:
+                attempt = failures + 1
+                state = _TxState()
+                journal.record(PHASE_BEGIN, attempt, self.kernel.clock_ns)
+                try:
+                    report = self._run_attempt(
+                        root_pid, actions, journal, attempt, state
                     )
-                backoff = self.cost_model.retry_backoff(failures)
-                self.kernel.clock_ns += backoff
-                journal.record(
-                    PHASE_RETRYING, attempt, self.kernel.clock_ns,
-                    note=f"backoff={backoff}ns",
-                )
-                continue
-            except Exception as exc:
-                # permanent faults, rewrite/lint/image errors: not
-                # retryable — restore the pristine tree and abort
-                self._rollback(journal, attempt, state, note=str(exc))
-                self._abort(journal, attempt, state, exc, "permanent failure")
-            report.attempts = attempt
-            journal.record(PHASE_COMMITTED, attempt, self.kernel.clock_ns)
-            self.history.append(report)
-            return report
+                except TransientFault as fault:
+                    failures += 1
+                    self._rollback(journal, attempt, state, note=str(fault))
+                    if failures >= self.max_attempts:
+                        self._abort(
+                            journal, attempt, state, fault,
+                            f"transient-fault retry budget exhausted "
+                            f"({self.max_attempts} attempts)",
+                        )
+                    backoff = self.cost_model.retry_backoff(failures)
+                    self.kernel.clock_ns += backoff
+                    journal.record(
+                        PHASE_RETRYING, attempt, self.kernel.clock_ns,
+                        note=f"backoff={backoff}ns",
+                    )
+                    continue
+                except Exception as exc:
+                    # permanent faults, rewrite/lint/image errors: not
+                    # retryable — restore the pristine tree and abort
+                    self._rollback(journal, attempt, state, note=str(exc))
+                    self._abort(
+                        journal, attempt, state, exc, "permanent failure"
+                    )
+                report.attempts = attempt
+                journal.record(PHASE_COMMITTED, attempt, self.kernel.clock_ns)
+                self.history.append(report)
+                self._publish_report(report)
+                return report
 
     def _run_attempt(
         self,
@@ -261,14 +267,16 @@ class DynaCut:
         state: _TxState,
     ) -> RewriteReport:
         kernel = self.kernel
+        now = lambda: kernel.clock_ns  # noqa: E731 — the span clock
         clock = kernel.clock_ns
-        checkpoint = checkpoint_tree(
-            kernel,
-            root_pid,
-            image_dir=self.image_dir,
-            dump_exec_pages=True,
-            cost_model=self.cost_model,
-        )
+        with telemetry.span("customize.checkpoint", clock=now, attempt=attempt):
+            checkpoint = checkpoint_tree(
+                kernel,
+                root_pid,
+                image_dir=self.image_dir,
+                dump_exec_pages=True,
+                cost_model=self.cost_model,
+            )
         # from here on the original tree is gone: every failure path
         # below must restore the pristine copy to keep the service up
         state.tree_down = True
@@ -280,13 +288,15 @@ class DynaCut:
         journal.record(PHASE_PRISTINE_SAVED, attempt, kernel.clock_ns)
 
         rewriter = ImageRewriter(kernel, checkpoint, self.cost_model)
-        actions(rewriter)
+        with telemetry.span("customize.rewrite", clock=now, attempt=attempt):
+            actions(rewriter)
         journal.record(PHASE_REWRITTEN, attempt, kernel.clock_ns)
 
         # overwrite the on-disk image files with the rewritten state, so
         # offline tooling (crit, dynalint) sees what will be restored;
         # the pristine copy saved above survives this
-        checkpoint.save(kernel.fs, self.image_dir)
+        with telemetry.span("customize.save", clock=now, attempt=attempt):
+            checkpoint.save(kernel.fs, self.image_dir)
         journal.record(PHASE_SAVED, attempt, kernel.clock_ns)
 
         lint = None
@@ -294,16 +304,19 @@ class DynaCut:
             self.lint_mode == "verify"
             and POLICY_VERIFY in rewriter.policies_installed
         ):
-            lint = lint_checkpoint(kernel, checkpoint)
-            faults.trip("lint.strict_reject")
-            if self.lint_strict and not lint.ok:
-                raise RewriteError(
-                    "dynalint rejected the rewritten image:\n" + lint.summary()
-                )
+            with telemetry.span("customize.lint", clock=now, attempt=attempt):
+                lint = lint_checkpoint(kernel, checkpoint)
+                faults.trip("lint.strict_reject")
+                if self.lint_strict and not lint.ok:
+                    raise RewriteError(
+                        "dynalint rejected the rewritten image:\n"
+                        + lint.summary()
+                    )
             journal.record(PHASE_LINTED, attempt, kernel.clock_ns)
 
         clock = kernel.clock_ns
-        restored = restore_tree(kernel, checkpoint, self.cost_model)
+        with telemetry.span("customize.restore", clock=now, attempt=attempt):
+            restored = restore_tree(kernel, checkpoint, self.cost_model)
         state.tree_down = False
         restore_ns = kernel.clock_ns - clock
         journal.record(PHASE_RESTORED, attempt, kernel.clock_ns)
@@ -385,11 +398,39 @@ class DynaCut:
             rolled_back=True,
         )
         self.history.append(report)
+        self._publish_report(report, why=why)
         raise CustomizationAborted(
             f"customize rolled back after {attempt} attempt(s) ({why}): "
             f"{cause}",
             report,
         ) from cause
+
+    def _publish_report(self, report: RewriteReport, why: str = "") -> None:
+        """Push one session's outcome into the telemetry substrate."""
+        now = self.kernel.clock_ns
+        telemetry.count("customize_total", outcome=report.outcome)
+        telemetry.count("customize_attempts_total", report.attempts)
+        telemetry.emit(
+            "rewrite", "report", clock_ns=now,
+            outcome=report.outcome, attempts=report.attempts, why=why,
+            checkpoint_ns=report.checkpoint_ns, restore_ns=report.restore_ns,
+            patch_ns=report.stats.patch_ns, inject_ns=report.stats.inject_ns,
+            unmap_ns=report.stats.unmap_ns, total_ns=report.total_ns,
+            blocks_patched=report.stats.blocks_patched,
+            blocks_restored=report.stats.blocks_restored,
+            bytes_wiped=report.stats.bytes_wiped,
+            image_pages=report.image_pages, image_bytes=report.image_bytes,
+        )
+        if report.outcome != "committed":
+            return
+        telemetry.observe("customize_checkpoint_ns", report.checkpoint_ns)
+        telemetry.observe("customize_restore_ns", report.restore_ns)
+        telemetry.observe("customize_patch_ns", report.stats.patch_ns)
+        telemetry.observe("customize_total_ns", report.total_ns)
+        telemetry.count("blocks_patched_total", report.stats.blocks_patched)
+        telemetry.count("blocks_restored_total", report.stats.blocks_restored)
+        telemetry.count("bytes_wiped_total", report.stats.bytes_wiped)
+        telemetry.sample("rewrite_cost_ns", now, report.total_ns)
 
     # ------------------------------------------------------------------
     # feature customization

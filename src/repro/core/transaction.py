@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .. import faults
+from .. import faults, telemetry
 from .rewriter import RewriteError
 
 PHASE_BEGIN = "begin"
@@ -115,6 +115,10 @@ class TxJournal:
         self, phase: str, attempt: int, clock_ns: int, note: str = ""
     ) -> None:
         self.entries.append(JournalEntry(phase, attempt, clock_ns, note))
+        telemetry.emit(
+            "journal", phase, clock_ns=clock_ns, attempt=attempt, note=note
+        )
+        telemetry.count("journal_phase_total", phase=phase)
         # journal appends are modelled atomic; see module docstring
         with faults.shielded():
             self.fs.write_file(self.path, self.serialize())

@@ -99,14 +99,23 @@ def _http_wanted(kernel: Kernel, port: int) -> bool:
     return HttpClient(kernel, port).get("/").status == 200
 
 
-_PROBE_SERIAL = {"n": 0}
+def _probe_serial(kernel: Kernel) -> int:
+    """Per-kernel probe serial.
+
+    The serial lands in the request path, and the path's *length*
+    reaches the guest's string loops — so it must be a function of the
+    kernel, never of process-global history, or two identically-seeded
+    runs in one interpreter drift apart on the virtual clock.
+    """
+    serial = getattr(kernel, "_fleet_probe_serial", 0) + 1
+    kernel._fleet_probe_serial = serial
+    return serial
 
 
 def _http_dav_request(kernel: Kernel, port: int, feature: str) -> bool:
     if feature != "dav-write":
         raise FleetAppError(f"unknown http feature {feature!r}")
-    _PROBE_SERIAL["n"] += 1
-    path = f"/fleet-probe-{_PROBE_SERIAL['n']}.txt"
+    path = f"/fleet-probe-{_probe_serial(kernel)}.txt"
     client = HttpClient(kernel, port)
     response = client.put(path, "x")
     if response.status != 201:

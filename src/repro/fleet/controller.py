@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from .. import telemetry
 from ..core import (
     CustomizationAborted,
     DynaCut,
@@ -99,6 +100,9 @@ class FleetController:
         self.pool: BackendPool | None = None
         #: feature name -> profiled removal set (shared: same binary)
         self.features: dict[str, FeatureBlocks] = {}
+        #: set by FleetSupervisor.__init__ when one attaches; status()
+        #: folds its health/breaker view in when present
+        self.supervisor = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -190,27 +194,28 @@ class FleetController:
         reports: list[RewriteReport] = []
         instance.state = InstanceState.CUSTOMIZING
         applied: list[str] = []
-        try:
-            for feature_name in self.policy.features:
-                feature = self.features[feature_name]
-                report = instance.engine.disable_feature(
-                    instance.root_pid,
-                    feature,
-                    policy=self.policy.trap_policy_enum,
-                    mode=self.policy.block_mode_enum,
-                    redirect_symbol=(
-                        self.app.redirect_symbol
-                        if self.policy.trap_policy == "redirect"
-                        else None
-                    ),
-                )
-                reports.append(report)
-                applied.append(feature_name)
-        except CustomizationAborted:
-            for feature_name in reversed(applied):
-                self.rollback_feature(instance, feature_name)
-            instance.state = InstanceState.DRAINED
-            raise
+        with telemetry.label_scope(instance=instance.name):
+            try:
+                for feature_name in self.policy.features:
+                    feature = self.features[feature_name]
+                    report = instance.engine.disable_feature(
+                        instance.root_pid,
+                        feature,
+                        policy=self.policy.trap_policy_enum,
+                        mode=self.policy.block_mode_enum,
+                        redirect_symbol=(
+                            self.app.redirect_symbol
+                            if self.policy.trap_policy == "redirect"
+                            else None
+                        ),
+                    )
+                    reports.append(report)
+                    applied.append(feature_name)
+            except CustomizationAborted:
+                for feature_name in reversed(applied):
+                    self.rollback_feature(instance, feature_name)
+                instance.state = InstanceState.DRAINED
+                raise
         instance.state = InstanceState.DRAINED
         return reports
 
@@ -231,10 +236,11 @@ class FleetController:
                 f"recover it from its committed image first"
             )
         restored = []
-        for feature_name in reversed(self.policy.features):
-            if feature_name in instance.customized_features:
-                self.rollback_feature(instance, feature_name)
-                restored.append(feature_name)
+        with telemetry.label_scope(instance=instance.name):
+            for feature_name in reversed(self.policy.features):
+                if feature_name in instance.customized_features:
+                    self.rollback_feature(instance, feature_name)
+                    restored.append(feature_name)
         return restored
 
     # ------------------------------------------------------------------
@@ -271,6 +277,19 @@ class FleetController:
         if self.alive(instance):
             report = read_verifier_log(self.kernel, self.process(instance))
             instance.traps_seen = len(report.trapped_addresses)
+            now = self.kernel.clock_ns
+            telemetry.emit(
+                "traps", "sync",
+                clock_ns=now,
+                labels={"instance": instance.name},
+                total=instance.traps_seen,
+            )
+            telemetry.gauge_set(
+                "traps_seen", instance.traps_seen, instance=instance.name
+            )
+            telemetry.sample(
+                "traps_seen", now, instance.traps_seen, instance=instance.name
+            )
         return instance.traps_seen
 
     # ------------------------------------------------------------------
@@ -285,10 +304,41 @@ class FleetController:
             f"{instance.name}: module {self.app.binary!r} not mapped"
         )
 
+    def _pool_accounting(self) -> tuple[dict[int, int], dict[int, int]]:
+        """Dispatch/failover counts per backend port.
+
+        When a telemetry hub is recording, the metrics registry is the
+        single source (the same counters every exporter sees); without
+        one, fall back to the pool's own dicts.
+        """
+        assert self.pool is not None
+        hub = telemetry.hub()
+        if hub is None:
+            return dict(self.pool.dispatched), dict(self.pool.failovers)
+        backends = {str(port) for port in self.pool.backends}
+        dispatched = {
+            int(port): total
+            for port, total in hub.registry.counters_by_label(
+                "dispatch_total", "port"
+            ).items()
+            if port in backends
+        }
+        for port in self.pool.backends:
+            dispatched.setdefault(port, 0)
+        failovers = {
+            int(port): total
+            for port, total in hub.registry.counters_by_label(
+                "failover_total", "port"
+            ).items()
+            if port in backends
+        }
+        return dispatched, failovers
+
     def status(self) -> dict:
         """Fleet-wide operator overview."""
         assert self.pool is not None
-        return {
+        dispatched, failovers = self._pool_accounting()
+        status = {
             "app": self.app.name,
             "frontend_port": self.frontend_port,
             "size": self.size,
@@ -298,8 +348,8 @@ class FleetController:
                 "in_service": self.pool.in_service(),
                 "drained": sorted(self.pool.drained),
                 "down": sorted(self.pool.down),
-                "dispatched": dict(self.pool.dispatched),
-                "failovers": dict(self.pool.failovers),
+                "dispatched": dispatched,
+                "failovers": failovers,
             },
             "instances": [
                 {
@@ -316,3 +366,6 @@ class FleetController:
                 for instance in self.instances
             ],
         }
+        if self.supervisor is not None:
+            status["supervision"] = self.supervisor.supervision_status()
+        return status

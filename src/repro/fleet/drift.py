@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..core import read_verifier_log
 from .controller import FleetController, FleetInstance
 
@@ -109,6 +110,19 @@ class DriftDetector:
         report = read_verifier_log(controller.kernel, proc)
         fresh = report.trapped_addresses[instance.traps_seen:]
         instance.traps_seen = len(report.trapped_addresses)
+        now = controller.kernel.clock_ns
+        telemetry.emit(
+            "traps", "scan",
+            clock_ns=now,
+            labels={"instance": instance.name},
+            total=instance.traps_seen,
+        )
+        telemetry.gauge_set(
+            "traps_seen", instance.traps_seen, instance=instance.name
+        )
+        telemetry.sample(
+            "traps_seen", now, instance.traps_seen, instance=instance.name
+        )
         if not fresh:
             return []
         base = controller.module_base(instance)
@@ -143,6 +157,18 @@ class DriftDetector:
                 new_hits += event.hits
                 if self.status.first_drift_ns is None:
                     self.status.first_drift_ns = event.clock_ns
+                telemetry.emit(
+                    "drift", "traps",
+                    clock_ns=event.clock_ns,
+                    labels={
+                        "instance": event.instance,
+                        "feature": event.feature,
+                    },
+                    hits=event.hits,
+                )
+                telemetry.count(
+                    "drift_traps_total", event.hits, feature=event.feature
+                )
         if new_hits:
             self._window.append((now, new_hits))
         horizon = now - self.policy.drift_window_ns
@@ -153,6 +179,13 @@ class DriftDetector:
         self.status.triggered = True
         self.status.triggered_ns = now
         self.status.action = self.policy.drift_action
+        telemetry.emit(
+            "drift", "triggered",
+            clock_ns=now,
+            action=self.policy.drift_action,
+            windowed_hits=windowed,
+        )
+        telemetry.count("drift_triggered_total", action=self.policy.drift_action)
         if self.policy.drift_action == "reenable":
             self._reenable_fleet()
         return True

@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from .. import telemetry
+
 
 class HealthError(RuntimeError):
     """An illegal health-state transition was attempted."""
@@ -61,6 +63,16 @@ _ALLOWED: frozenset[tuple[HealthState, HealthState]] = frozenset(
     }
 )
 
+#: numeric level per state, for plottable per-instance health timelines
+#: (0 = serving normally, higher = further from service)
+_STATE_LEVEL: dict[HealthState, int] = {
+    HealthState.HEALTHY: 0,
+    HealthState.SUSPECT: 1,
+    HealthState.DOWN: 2,
+    HealthState.RESTORING: 3,
+    HealthState.QUARANTINED: 4,
+}
+
 
 @dataclass
 class HealthRecord:
@@ -83,8 +95,22 @@ class HealthRecord:
                 f"{self.instance}: illegal health transition "
                 f"{self.state.value} -> {new.value}"
             )
+        previous = self.state
         self.state = new
         self.history.append((clock_ns, new))
+        telemetry.emit(
+            "health", new.value,
+            clock_ns=clock_ns,
+            labels={"instance": self.instance},
+            previous=previous.value,
+        )
+        telemetry.count(
+            "health_transitions_total", state=new.value, instance=self.instance
+        )
+        telemetry.sample(
+            "health_state", clock_ns, _STATE_LEVEL[new],
+            instance=self.instance,
+        )
 
     # ------------------------------------------------------------------
     # heartbeat observations

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..core import CustomizationAborted
 from .controller import FleetController, FleetInstance, InstanceState
 from .policy import ProbeResult
@@ -174,11 +175,18 @@ class RolloutExecutor:
     # internals
 
     def _record(self, instance: str, action: str, outcome: str, detail: str = ""):
+        now = self.controller.kernel.clock_ns
         self.report.steps.append(
-            RolloutStep(
-                self.controller.kernel.clock_ns, instance, action, outcome, detail
-            )
+            RolloutStep(now, instance, action, outcome, detail)
         )
+        telemetry.emit(
+            "rollout", action,
+            clock_ns=now,
+            labels={"instance": instance},
+            outcome=outcome,
+            detail=detail,
+        )
+        telemetry.count("rollout_steps_total", action=action, outcome=outcome)
 
     def _note_drained(self) -> None:
         assert self.controller.pool is not None

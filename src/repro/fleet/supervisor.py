@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .. import faults
+from .. import faults, telemetry
 from ..analysis.lint import lint_checkpoint
 from ..core import read_verifier_log
 from ..criu.images import CheckpointImage
@@ -92,6 +92,10 @@ class FleetSupervisor:
         self._last_tick_ns: int | None = None
         #: per-instance (clock_ns, hits) observations for the trap storm
         self._trap_window: dict[str, list[tuple[int, int]]] = {}
+        #: per-instance breaker trips (demotions) for breaker_status()
+        self.breaker_trips: dict[str, int] = {}
+        # the controller folds our health/breaker view into status()
+        controller.supervisor = self
         # traps logged before the supervisor existed are history
         for instance in controller.instances:
             if instance.customized:
@@ -112,11 +116,42 @@ class FleetSupervisor:
         )
 
     def _event(self, instance: FleetInstance, kind: str, detail: str = "") -> None:
-        self.events.append(
-            SupervisorEvent(
-                self.controller.kernel.clock_ns, instance.name, kind, detail
-            )
+        now = self.controller.kernel.clock_ns
+        self.events.append(SupervisorEvent(now, instance.name, kind, detail))
+        telemetry.emit(
+            "supervisor", kind,
+            clock_ns=now, labels={"instance": instance.name}, detail=detail,
         )
+        telemetry.count("supervisor_events_total", kind=kind)
+
+    def supervision_status(self) -> dict:
+        """Health + breaker view, for :meth:`FleetController.status`."""
+        return {
+            "ticks": self.ticks,
+            "settled": self.settled,
+            "health": {
+                name: record.state.value
+                for name, record in sorted(self.records.items())
+            },
+            "breakers": self.breaker_status(),
+            "recoveries": {
+                "attempts": len(self.recoveries),
+                "succeeded": sum(1 for o in self.recoveries if o.succeeded),
+            },
+        }
+
+    def breaker_status(self) -> dict:
+        """Per-instance trap-storm breaker state."""
+        out: dict[str, dict] = {}
+        for instance in self.controller.instances:
+            window = self._trap_window.get(instance.name, [])
+            out[instance.name] = {
+                "trips": self.breaker_trips.get(instance.name, 0),
+                "window_hits": sum(h for __, h in window),
+                "threshold": self.policy.trap_storm_threshold,
+                "degraded": instance.degraded,
+            }
+        return out
 
     # ------------------------------------------------------------------
     # heartbeat
@@ -205,6 +240,11 @@ class FleetSupervisor:
             respawn = self._respawn_pristine(instance, note=outcome.note)
             outcome = respawn
         self.recoveries.append(outcome)
+        telemetry.count(
+            "recoveries_total",
+            outcome="succeeded" if outcome.succeeded else "failed",
+            source=outcome.source,
+        )
         if outcome.succeeded:
             controller.sync_traps(instance)
             assert controller.pool is not None
@@ -305,6 +345,18 @@ class FleetSupervisor:
         fresh = report.trapped_addresses[instance.traps_seen:]
         instance.traps_seen = len(report.trapped_addresses)
         now = kernel.clock_ns
+        telemetry.emit(
+            "traps", "breaker-scan",
+            clock_ns=now,
+            labels={"instance": instance.name},
+            total=instance.traps_seen,
+        )
+        telemetry.gauge_set(
+            "traps_seen", instance.traps_seen, instance=instance.name
+        )
+        telemetry.sample(
+            "traps_seen", now, instance.traps_seen, instance=instance.name
+        )
         window = self._trap_window.setdefault(instance.name, [])
         if fresh:
             base = controller.module_base(instance)
@@ -334,6 +386,10 @@ class FleetSupervisor:
         finally:
             controller.rejoin(instance)
         instance.degraded = True
+        self.breaker_trips[instance.name] = (
+            self.breaker_trips.get(instance.name, 0) + 1
+        )
+        telemetry.count("breaker_trips_total", instance=instance.name)
         self._event(
             instance, "demoted", f"reenabled={','.join(restored) or 'none'}"
         )

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from .process import Descriptor
 
 
@@ -179,6 +180,11 @@ class BackendPool:
 
     def record_failover(self, port: int) -> None:
         self.failovers[port] = self.failovers.get(port, 0) + 1
+        telemetry.count("failover_total", port=port)
+        telemetry.emit(
+            "failover", "routed-around",
+            labels={"port": port}, frontend=self.frontend_port,
+        )
 
     @property
     def total_failovers(self) -> int:
@@ -307,6 +313,11 @@ class NetworkStack:
             listener = self._backend_listener(port)
             if listener is not None and not listener.orphaned:
                 pool.dispatched[port] = pool.dispatched.get(port, 0) + 1
+                telemetry.count("dispatch_total", port=port)
+                telemetry.emit(
+                    "dispatch", "balanced",
+                    labels={"port": port}, frontend=pool.frontend_port,
+                )
                 return port
             pool.mark_down(port)
             pool.record_failover(port)

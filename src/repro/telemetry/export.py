@@ -1,0 +1,228 @@
+"""Exporters over a recorded run: JSONL event log + Prometheus text.
+
+Two complementary views of one :class:`~repro.telemetry.hub.TelemetryHub`:
+
+* :func:`to_jsonl` — the **full event stream**, one JSON object per
+  line, in emission order.  This is the replayable artifact: every
+  number the fleet/supervisor CLIs report can be reconstructed from it
+  alone (see :func:`summarize_events`), so campaign JSON files only
+  need to commit digests.
+* :func:`prometheus_snapshot` — a point-in-time text rendering of the
+  metrics registry in the Prometheus exposition format (``# TYPE``
+  headers, ``family{label="v"} value`` samples, cumulative histogram
+  buckets).  :func:`parse_prometheus` round-trips it, which is what
+  the CI telemetry job asserts.
+
+Both renderings iterate instruments in sorted order and carry only
+virtual-clock timestamps, so equal seeds produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .hub import TelemetryEvent, TelemetryHub
+from .registry import MetricsRegistry, labels_text
+
+
+# ----------------------------------------------------------------------
+# JSONL event stream
+
+def to_jsonl(hub_or_events: TelemetryHub | Iterable[TelemetryEvent]) -> str:
+    """Render the event stream as one JSON object per line."""
+    events = (
+        hub_or_events.events
+        if isinstance(hub_or_events, TelemetryHub)
+        else hub_or_events
+    )
+    return "".join(event.to_json() + "\n" for event in events)
+
+
+def read_jsonl(text: str) -> list[TelemetryEvent]:
+    """Parse a JSONL event stream back into events."""
+    import json
+
+    return [
+        TelemetryEvent.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_snapshot(registry: MetricsRegistry, prefix: str = "dynacut_") -> str:
+    """The registry in Prometheus text format (sorted, deterministic)."""
+    lines: list[str] = []
+
+    families: dict[str, list[str]] = {}
+
+    def add(family: str, kind: str, sample_lines: list[str]) -> None:
+        if family not in families:
+            families[family] = [f"# TYPE {family} {kind}"]
+        families[family].extend(sample_lines)
+
+    for (name, labels), counter in sorted(registry.counters.items()):
+        family = prefix + _sanitize(name)
+        add(family, "counter", [f"{family}{labels_text(labels)} {counter.value}"])
+    for (name, labels), gauge in sorted(registry.gauges.items()):
+        family = prefix + _sanitize(name)
+        add(family, "gauge", [f"{family}{labels_text(labels)} {gauge.value:g}"])
+    for (name, labels), hist in sorted(registry.histograms.items()):
+        family = prefix + _sanitize(name)
+        sample_lines = []
+        for le, cumulative in hist.cumulative_buckets():
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = le
+            rendered = labels_text(tuple(sorted(bucket_labels.items())))
+            sample_lines.append(f"{family}_bucket{rendered} {cumulative}")
+        sample_lines.append(f"{family}_sum{labels_text(labels)} {hist.total:g}")
+        sample_lines.append(f"{family}_count{labels_text(labels)} {hist.count}")
+        add(family, "histogram", sample_lines)
+
+    out: list[str] = []
+    for family in sorted(families):
+        out.extend(families[family])
+    return "\n".join(out) + "\n" if out else ""
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a text snapshot into ``{'family{labels}': value}``.
+
+    Strict enough for the CI assertion: every non-comment line must be
+    ``name[{labels}] value`` with a float value, every ``{`` closed,
+    and every family preceded by a ``# TYPE`` header.
+    """
+    values: dict[str, float] = {}
+    typed: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: malformed TYPE header: {line!r}")
+            typed.add(parts[2])
+            continue
+        if line.startswith("#"):
+            continue
+        key, __, raw = line.rpartition(" ")
+        if not key:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        if "{" in key and not key.endswith("}"):
+            raise ValueError(f"line {lineno}: unclosed label set: {line!r}")
+        family = key.split("{", 1)[0]
+        base = family
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix) and family[: -len(suffix)] in typed:
+                base = family[: -len(suffix)]
+        if base not in typed:
+            raise ValueError(f"line {lineno}: sample without TYPE header: {line!r}")
+        values[key] = float(raw)
+    return values
+
+
+# ----------------------------------------------------------------------
+# event-stream reconstruction
+
+def summarize_events(events: Iterable[TelemetryEvent]) -> dict:
+    """Rebuild the CLI-reported aggregates from the event stream alone.
+
+    The acceptance contract of the observability layer: per-instance
+    trap counts, failover/dispatch totals, and rewrite-cost summaries
+    computed *only* from the recorded events must equal what the live
+    controller/supervisor objects reported for the same seed.
+    """
+    kinds: dict[str, int] = {}
+    traps: dict[str, int] = {}
+    failovers: dict[str, int] = {}
+    dispatch: dict[str, int] = {}
+    rewrites: dict[str, dict] = {}
+    journal_phases: dict[str, int] = {}
+    supervisor: dict[str, int] = {}
+    health: dict[str, int] = {}
+    drift_traps = 0
+    drift_triggered = False
+    spans: dict[str, dict] = {}
+
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        instance = event.label("instance", "")
+        if event.kind == "traps":
+            # every traps_seen mutation emits the post-sync value, so
+            # the last event per instance IS the live counter (recovery
+            # from a committed image legitimately resets it — a max
+            # would disagree with the controller after a crash)
+            traps[instance] = int(event.field("total", 0))
+        elif event.kind == "failover":
+            port = event.label("port", "?")
+            failovers[port] = failovers.get(port, 0) + 1
+        elif event.kind == "dispatch":
+            port = event.label("port", "?")
+            dispatch[port] = dispatch.get(port, 0) + 1
+        elif event.kind == "rewrite":
+            summary = rewrites.setdefault(
+                instance,
+                {
+                    "sessions": 0, "committed": 0, "rolled_back": 0,
+                    "attempts": 0, "checkpoint_ns": 0, "restore_ns": 0,
+                    "patch_ns": 0, "total_ns": 0, "blocks_patched": 0,
+                    "blocks_restored": 0, "bytes_wiped": 0,
+                },
+            )
+            summary["sessions"] += 1
+            outcome = str(event.field("outcome", ""))
+            if outcome == "committed":
+                summary["committed"] += 1
+            else:
+                summary["rolled_back"] += 1
+            summary["attempts"] += int(event.field("attempts", 0))
+            for cost in (
+                "checkpoint_ns", "restore_ns", "patch_ns", "total_ns",
+                "blocks_patched", "blocks_restored", "bytes_wiped",
+            ):
+                summary[cost] += int(event.field(cost, 0))
+        elif event.kind == "journal":
+            journal_phases[event.name] = journal_phases.get(event.name, 0) + 1
+        elif event.kind == "supervisor":
+            supervisor[event.name] = supervisor.get(event.name, 0) + 1
+        elif event.kind == "health":
+            health[event.name] = health.get(event.name, 0) + 1
+        elif event.kind == "drift":
+            if event.name == "traps":
+                drift_traps += int(event.field("hits", 0))
+            elif event.name == "triggered":
+                drift_triggered = True
+        elif event.kind == "span":
+            entry = spans.setdefault(
+                event.name, {"count": 0, "total_ns": 0, "errors": 0}
+            )
+            entry["count"] += 1
+            entry["total_ns"] += int(event.field("duration_ns", 0))
+            if str(event.field("status", "ok")) != "ok":
+                entry["errors"] += 1
+
+    return {
+        "events": sum(kinds.values()),
+        "kinds": dict(sorted(kinds.items())),
+        "traps": dict(sorted(traps.items())),
+        "failovers": {
+            "by_port": dict(sorted(failovers.items())),
+            "total": sum(failovers.values()),
+        },
+        "dispatch": {
+            "by_port": dict(sorted(dispatch.items())),
+            "total": sum(dispatch.values()),
+        },
+        "rewrites": dict(sorted(rewrites.items())),
+        "journal_phases": dict(sorted(journal_phases.items())),
+        "supervisor_events": dict(sorted(supervisor.items())),
+        "health_transitions": dict(sorted(health.items())),
+        "drift": {"attributed_traps": drift_traps, "triggered": drift_triggered},
+        "spans": dict(sorted(spans.items())),
+    }

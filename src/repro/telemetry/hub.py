@@ -1,0 +1,176 @@
+"""The telemetry hub: one registry, one tracer, one event stream.
+
+A :class:`TelemetryHub` is the per-run recording context.  Installed
+ambiently (see :mod:`repro.telemetry`), it receives every metric
+update, finished span, and structured event the instrumented pipeline
+produces, and timestamps them from a **bound virtual clock** (usually
+``lambda: kernel.clock_ns``) so recordings replay bit-exactly.
+
+Label scopes give emissions their identity without threading names
+through every layer: the fleet controller wraps each instance's
+lifecycle verbs in ``hub.labels(instance=...)``, and everything the
+transaction engine, journal, and rewriter record underneath lands in
+that instance's series automatically.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .registry import LabelSet, MetricsRegistry, labelset
+from .tracer import Span, SpanTracer
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured record of the unified event stream."""
+
+    clock_ns: int
+    kind: str            # journal | span | rewrite | dispatch | failover |
+                         # traps | health | supervisor | rollout | drift |
+                         # workload | campaign
+    name: str
+    labels: LabelSet = ()
+    fields: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "clock_ns": self.clock_ns,
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "fields": dict(self.fields),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TelemetryEvent":
+        return cls(
+            clock_ns=payload["clock_ns"],
+            kind=payload["kind"],
+            name=payload["name"],
+            labels=tuple(sorted(payload.get("labels", {}).items())),
+            fields=tuple(sorted(payload.get("fields", {}).items())),
+        )
+
+    def field(self, key: str, default: object = None) -> object:
+        return dict(self.fields).get(key, default)
+
+    def label(self, key: str, default: str | None = None) -> str | None:
+        return dict(self.labels).get(key, default)
+
+
+class TelemetryHub:
+    """Collects metrics, spans, and events for one recorded run."""
+
+    def __init__(self, clock: Callable[[], int] | None = None):
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(clock)
+        self.events: list[TelemetryEvent] = []
+        self._clock = clock
+        self._label_stack: list[dict[str, str]] = []
+        self.tracer.on_finish = self._span_finished
+
+    # ------------------------------------------------------------------
+    # clock
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Point the hub at a (new) virtual clock, e.g. a fresh kernel."""
+        self._clock = clock
+        self.tracer.bind_clock(clock)
+
+    def now(self) -> int:
+        return self._clock() if self._clock is not None else 0
+
+    # ------------------------------------------------------------------
+    # label scopes
+
+    @contextmanager
+    def labels(self, **labels: object) -> Iterator[None]:
+        """Apply ``labels`` to everything emitted inside the scope."""
+        self._label_stack.append({k: str(v) for k, v in labels.items()})
+        try:
+            yield
+        finally:
+            self._label_stack.pop()
+
+    def active_labels(self) -> dict[str, str]:
+        merged: dict[str, str] = {}
+        for scope in self._label_stack:
+            merged.update(scope)
+        return merged
+
+    def _merged(self, labels: dict[str, object]) -> dict[str, str]:
+        merged: dict[str, object] = dict(self.active_labels())
+        merged.update(labels)
+        return {k: str(v) for k, v in merged.items()}
+
+    # ------------------------------------------------------------------
+    # events
+
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        clock_ns: int | None = None,
+        labels: dict[str, object] | None = None,
+        **fields: object,
+    ) -> TelemetryEvent:
+        event = TelemetryEvent(
+            clock_ns=self.now() if clock_ns is None else clock_ns,
+            kind=kind,
+            name=name,
+            labels=labelset(self._merged(labels or {})),
+            fields=tuple(sorted(fields.items())),
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # metrics (ambient labels merged in)
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        self.registry.counter(name, **self._merged(labels)).inc(n)
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        self.registry.gauge(name, **self._merged(labels)).set(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.registry.histogram(name, **self._merged(labels)).observe(value)
+
+    def sample(
+        self, name: str, clock_ns: int, value: float, **labels: object
+    ) -> None:
+        self.registry.series(name, **self._merged(labels)).record(
+            clock_ns, value
+        )
+
+    # ------------------------------------------------------------------
+    # spans
+
+    def span(
+        self,
+        name: str,
+        clock: Callable[[], int] | None = None,
+        **attrs: object,
+    ):
+        return self.tracer.span(name, clock=clock, **attrs)
+
+    def _span_finished(self, span: Span) -> None:
+        self.observe("span_ns", span.duration_ns, span=span.name)
+        self.emit(
+            "span",
+            span.name,
+            clock_ns=span.end_ns,
+            start_ns=span.start_ns,
+            duration_ns=span.duration_ns,
+            parent=span.parent,
+            depth=span.depth,
+            status=span.status,
+            **span.attrs,
+        )

@@ -1,0 +1,247 @@
+"""Labeled metric families: counters, gauges, histograms, time series.
+
+The registry is the queryable substrate behind every number the
+evaluation reports.  Instruments are keyed by ``(family name, sorted
+label set)``, so the same family fans out into per-instance / per-port
+/ per-phase series without pre-declaring them.  Everything is
+deterministic by construction:
+
+* values only move when instrumented code calls ``inc``/``set``/
+  ``observe``/``record`` — there is no sampling thread;
+* timestamps are **virtual-clock nanoseconds** supplied by the caller
+  (or the hub's bound kernel clock), never wall time;
+* every exported view (:meth:`MetricsRegistry.snapshot`, the
+  Prometheus text format in :mod:`repro.telemetry.export`) iterates in
+  sorted ``(name, labels)`` order, so two runs with the same seed
+  produce byte-identical output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: one sorted, hashable rendering of a label mapping
+LabelSet = tuple[tuple[str, str], ...]
+
+MS = 1_000_000
+
+#: default histogram upper bounds, tuned for virtual-ns durations
+#: (1 ms .. 10 s); values above the last bound land in +Inf
+DEFAULT_NS_BUCKETS = (
+    1 * MS, 5 * MS, 10 * MS, 50 * MS,
+    100 * MS, 500 * MS, 1000 * MS, 10_000 * MS,
+)
+
+
+def labelset(labels: dict[str, object]) -> LabelSet:
+    """Canonical sorted tuple form of a label mapping."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def labels_text(labels: LabelSet) -> str:
+    """``{k="v",...}`` rendering (empty string for no labels)."""
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + body + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    labels: LabelSet = ()
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    name: str
+    labels: LabelSet = ()
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution with count/sum/min/max."""
+
+    name: str
+    labels: LabelSet = ()
+    bounds: tuple[int, ...] = DEFAULT_NS_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0
+    min: float | None = None
+    max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            # one slot per finite bound plus the +Inf overflow slot
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[str, int]]:
+        """Prometheus-style cumulative ``(le, count)`` pairs."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((str(bound), running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+@dataclass
+class TimeSeries:
+    """An append-only ``(virtual clock ns, value)`` accumulator."""
+
+    name: str
+    labels: LabelSet = ()
+    samples: list[tuple[int, float]] = field(default_factory=list)
+
+    def record(self, clock_ns: int, value: float) -> None:
+        self.samples.append((clock_ns, value))
+
+    @property
+    def last(self) -> float | None:
+        return self.samples[-1][1] if self.samples else None
+
+    def points(self, scale_x: float = 1.0, scale_y: float = 1.0) -> list[tuple[float, float]]:
+        """Samples as plottable points (e.g. seconds on the x axis)."""
+        return [(t * scale_x, v * scale_y) for t, v in self.samples]
+
+
+class MetricsRegistry:
+    """Process-wide store of every metric family, keyed by labels."""
+
+    def __init__(self) -> None:
+        self.counters: dict[tuple[str, LabelSet], Counter] = {}
+        self.gauges: dict[tuple[str, LabelSet], Gauge] = {}
+        self.histograms: dict[tuple[str, LabelSet], Histogram] = {}
+        self.time_series: dict[tuple[str, LabelSet], TimeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # instrument accessors (get-or-create)
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, labelset(labels))
+        if key not in self.counters:
+            self.counters[key] = Counter(name, key[1])
+        return self.counters[key]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, labelset(labels))
+        if key not in self.gauges:
+            self.gauges[key] = Gauge(name, key[1])
+        return self.gauges[key]
+
+    def histogram(
+        self, name: str, bounds: tuple[int, ...] | None = None, **labels: object
+    ) -> Histogram:
+        key = (name, labelset(labels))
+        if key not in self.histograms:
+            self.histograms[key] = Histogram(
+                name, key[1], bounds or DEFAULT_NS_BUCKETS
+            )
+        return self.histograms[key]
+
+    def series(self, name: str, **labels: object) -> TimeSeries:
+        key = (name, labelset(labels))
+        if key not in self.time_series:
+            self.time_series[key] = TimeSeries(name, key[1])
+        return self.time_series[key]
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def counter_value(self, name: str, **labels: object) -> int:
+        counter = self.counters.get((name, labelset(labels)))
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str, default: float = 0, **labels: object) -> float:
+        gauge = self.gauges.get((name, labelset(labels)))
+        return gauge.value if gauge is not None else default
+
+    def sum_counters(self, name: str) -> int:
+        """Total of every series of a counter family."""
+        return sum(
+            counter.value
+            for (family, __), counter in self.counters.items()
+            if family == name
+        )
+
+    def counters_by_label(self, name: str, key: str) -> dict[str, int]:
+        """``label value -> total`` over one counter family."""
+        out: dict[str, int] = {}
+        for (family, labels), counter in sorted(self.counters.items()):
+            if family != name:
+                continue
+            value = dict(labels).get(key)
+            if value is not None:
+                out[value] = out.get(value, 0) + counter.value
+        return out
+
+    def series_matching(self, name: str) -> list[TimeSeries]:
+        return [
+            series
+            for (family, __), series in sorted(self.time_series.items())
+            if family == name
+        ]
+
+    # ------------------------------------------------------------------
+    # snapshot
+
+    def snapshot(self) -> dict:
+        """Deterministic nested-dict view of every instrument."""
+        return {
+            "counters": {
+                f"{name}{labels_text(labels)}": counter.value
+                for (name, labels), counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                f"{name}{labels_text(labels)}": gauge.value
+                for (name, labels), gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                f"{name}{labels_text(labels)}": {
+                    "count": hist.count,
+                    "sum": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "mean": hist.mean,
+                }
+                for (name, labels), hist in sorted(self.histograms.items())
+            },
+            "series": {
+                f"{name}{labels_text(labels)}": list(series.samples)
+                for (name, labels), series in sorted(self.time_series.items())
+            },
+        }

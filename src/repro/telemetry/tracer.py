@@ -1,0 +1,106 @@
+"""Nested timed spans over the deterministic virtual clock.
+
+A span measures one pipeline stage (``customize.checkpoint``,
+``fleet.customize`` …) between two reads of a caller-supplied clock —
+in practice ``lambda: kernel.clock_ns`` — so traces are replayable:
+the same seed yields the same span boundaries, byte for byte.
+
+Spans nest: the tracer keeps an explicit stack, and each finished span
+records its parent's name and its depth, enough to reconstruct the
+tree from a flat event stream.  A span that exits through an exception
+is still closed (and marked ``status="error"``), which is exactly the
+rollback path the transaction engine needs visible.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage of the pipeline."""
+
+    name: str
+    start_ns: int
+    end_ns: int | None = None
+    parent: str | None = None
+    depth: int = 0
+    status: str = "ok"
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_ns - self.start_ns
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute mid-span (e.g. pages dumped)."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "duration_ns": self.duration_ns if self.end_ns is not None else None,
+            "parent": self.parent,
+            "depth": self.depth,
+            "status": self.status,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+
+
+class SpanTracer:
+    """Stack-structured span recording against a virtual clock."""
+
+    def __init__(self, clock: Callable[[], int] | None = None):
+        self._clock = clock
+        self._stack: list[Span] = []
+        self.finished: list[Span] = []
+        #: called with each finished span (the hub turns it into an
+        #: event + a duration-histogram observation)
+        self.on_finish: Callable[[Span], None] | None = None
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        self._clock = clock
+
+    def now(self) -> int:
+        return self._clock() if self._clock is not None else 0
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        clock: Callable[[], int] | None = None,
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Open a nested span; closed (even on exception) at exit."""
+        read = clock or self._clock
+        now = read() if read is not None else 0
+        span = Span(
+            name=name,
+            start_ns=now,
+            parent=self._stack[-1].name if self._stack else None,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = f"error:{type(exc).__name__}"
+            raise
+        finally:
+            self._stack.pop()
+            span.end_ns = read() if read is not None else span.start_ns
+            self.finished.append(span)
+            if self.on_finish is not None:
+                self.on_finish(span)

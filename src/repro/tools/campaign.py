@@ -1,0 +1,87 @@
+"""Shared campaign-runner plumbing for the chaos/supervisor CLIs.
+
+Both campaign CLIs had grown the same scaffolding: loop over seeds,
+run one isolated scenario per seed, aggregate a ``clean`` verdict,
+write a JSON report, print the verdict banner.  This module factors
+that loop out and routes every campaign through the telemetry layer:
+
+* each campaign body runs under its **own fresh**
+  :class:`~repro.telemetry.TelemetryHub` (so seeds cannot bleed
+  metrics into each other) — the body receives the hub and binds it to
+  its kernel's virtual clock;
+* the committed JSON keeps summaries and per-campaign digests only;
+  the **full event streams** go to an uncommitted ``<output>.jsonl``
+  sidecar, one JSON event per line, from which
+  :func:`~repro.telemetry.summarize_events` can rebuild every reported
+  number.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable
+
+from .. import telemetry
+from ..telemetry import TelemetryHub, to_jsonl
+
+
+def run_recorded(
+    label: str, body: Callable[[TelemetryHub], dict]
+) -> tuple[dict, TelemetryHub]:
+    """Run one campaign body under a fresh ambient telemetry hub.
+
+    ``body`` receives the hub (bind its clock once the kernel exists)
+    and returns the campaign record; a ``campaign`` digest event and a
+    per-record telemetry digest are attached before returning.
+    """
+    hub = TelemetryHub()
+    with telemetry.recording(hub):
+        record = body(hub)
+    hub.emit(
+        "campaign", label,
+        events=len(hub.events),
+        ok=bool(record.get("ok", record.get("clean", True))),
+    )
+    record["telemetry"] = {
+        "events": len(hub.events),
+        "counters": {
+            "dispatch": hub.registry.sum_counters("dispatch_total"),
+            "failover": hub.registry.sum_counters("failover_total"),
+            "journal_phases": hub.registry.sum_counters("journal_phase_total"),
+            "supervisor_events": hub.registry.sum_counters(
+                "supervisor_events_total"
+            ),
+        },
+    }
+    return record, hub
+
+
+def events_sidecar(output: pathlib.Path) -> pathlib.Path:
+    """The uncommitted full-event-stream path next to ``output``."""
+    return output.with_suffix(".jsonl")
+
+
+def write_results(
+    output: pathlib.Path,
+    payload: dict,
+    hubs: list[TelemetryHub],
+    clean: bool,
+    banner: str = "",
+) -> int:
+    """Write the summary JSON + the JSONL event sidecar; print verdict.
+
+    Returns the CLI exit code (0 clean, 1 violated).
+    """
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    sidecar = events_sidecar(output)
+    with open(sidecar, "w") as handle:
+        for hub in hubs:
+            handle.write(to_jsonl(hub))
+    detail = f" {banner}" if banner else ""
+    print(
+        f"{'CLEAN' if clean else 'VIOLATED'}{detail} -> {output} "
+        f"(events -> {sidecar})"
+    )
+    return 0 if clean else 1

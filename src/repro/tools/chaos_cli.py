@@ -11,8 +11,11 @@ scored against the availability invariant:
 * **half-patched** — some but not all of the feature's blocks carry
   the rewrite (must never happen; the transactional engine's contract).
 
-The aggregate goes to ``results/chaos_campaign.json``.  Exit status is
-0 when every run survived with zero half-patched outcomes, 1 otherwise.
+The aggregate goes to ``results/chaos_campaign.json``; the full
+per-campaign telemetry event streams (journal phases, rewrite reports,
+spans) go to the uncommitted ``.jsonl`` sidecar next to it.  Exit
+status is 0 when every run survived with zero half-patched outcomes,
+1 otherwise.
 
 Usage::
 
@@ -23,7 +26,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 from random import Random
@@ -40,8 +42,10 @@ from ..core import (
 )
 from ..faults import KNOWN_SITES, FaultPlan
 from ..kernel import Kernel
+from ..telemetry import TelemetryHub
 from ..tracing import BlockTracer
 from ..workloads import HttpClient, RedisClient
+from .campaign import run_recorded, write_results
 
 #: sites a campaign run may arm (all of them — the recipe visits each)
 CAMPAIGN_SITES = sorted(KNOWN_SITES)
@@ -103,7 +107,9 @@ def _module_base(proc, module: str) -> int:
     raise SystemExit(f"module {module!r} not mapped in pid {proc.pid}")
 
 
-def run_campaign(app: str, runs: int, seed_base: int) -> dict:
+def run_campaign(
+    app: str, runs: int, seed_base: int, hub: TelemetryHub | None = None
+) -> dict:
     """``runs`` seeded chaos runs against ``app``; returns the record."""
     records = []
     for index in range(runs):
@@ -113,6 +119,9 @@ def run_campaign(app: str, runs: int, seed_base: int) -> dict:
         kind = rng.choice(KINDS)
 
         kernel, proc, feature, module, serves = _STAGERS[app]()
+        if hub is not None:
+            # each run stages a fresh kernel; follow its virtual clock
+            hub.bind_clock(lambda kernel=kernel: kernel.clock_ns)
         pid = proc.pid
         base = _module_base(proc, module)
         offsets = [base + block.offset for block in feature.blocks]
@@ -194,9 +203,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     apps = args.app or sorted(_STAGERS)
 
-    campaigns = [
-        run_campaign(app, args.runs, args.seed_base) for app in apps
-    ]
+    campaigns = []
+    hubs = []
+    for app in apps:
+        campaign, hub = run_recorded(
+            f"chaos-{app}",
+            lambda hub, app=app: run_campaign(
+                app, args.runs, args.seed_base, hub
+            ),
+        )
+        campaigns.append(campaign)
+        hubs.append(hub)
     total_runs = sum(c["summary"]["runs"] for c in campaigns)
     total_survived = sum(c["summary"]["survived"] for c in campaigns)
     total_half = sum(c["summary"]["half_patched"] for c in campaigns)
@@ -209,9 +226,6 @@ def main(argv: list[str] | None = None) -> int:
         "total_half_patched": total_half,
         "clean": clean,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-
     for campaign in campaigns:
         summary = campaign["summary"]
         print(
@@ -221,8 +235,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{summary['total_retries']} retries, "
             f"{summary['half_patched']} half-patched)"
         )
-    print(f"campaign {'CLEAN' if clean else 'VIOLATED'} -> {args.output}")
-    return 0 if clean else 1
+    return write_results(args.output, payload, hubs, clean, banner="campaign")
 
 
 if __name__ == "__main__":

@@ -29,7 +29,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 
@@ -42,7 +41,9 @@ from ..fleet import (
     get_app,
 )
 from ..kernel import Kernel
+from ..telemetry import TelemetryHub
 from ..workloads import SECOND_NS, TimelineEvent, run_request_timeline
+from .campaign import run_recorded, write_results
 
 
 def _build_fleet(args, strategy: str) -> FleetController:
@@ -67,8 +68,9 @@ def _pristine(controller: FleetController) -> bool:
     return not any(instance.customized for instance in controller.instances)
 
 
-def run_rollout(args) -> tuple[dict, bool]:
+def run_rollout(args, hub: TelemetryHub) -> tuple[dict, bool]:
     controller = _build_fleet(args, args.strategy)
+    hub.bind_clock(lambda: controller.kernel.clock_ns)
     executor = RolloutExecutor(controller)
 
     plan = None
@@ -130,8 +132,9 @@ def run_rollout(args) -> tuple[dict, bool]:
     return payload, clean
 
 
-def run_drift(args) -> tuple[dict, bool]:
+def run_drift(args, hub: TelemetryHub) -> tuple[dict, bool]:
     controller = _build_fleet(args, "rolling")
+    hub.bind_clock(lambda: controller.kernel.clock_ns)
     RolloutExecutor(controller).run()
     detector = DriftDetector(controller)
     app, kernel = controller.app, controller.kernel
@@ -209,11 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    payload, clean = (
-        run_rollout(args) if args.command == "rollout" else run_drift(args)
-    )
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    runner = run_rollout if args.command == "rollout" else run_drift
+    verdict: dict[str, bool] = {}
+
+    def body(hub: TelemetryHub) -> dict:
+        record, clean = runner(args, hub)
+        record["clean"] = clean
+        verdict["clean"] = clean
+        return record
+
+    payload, hub = run_recorded(f"fleet-{args.command}", body)
+    clean = verdict["clean"]
 
     if args.command == "rollout":
         rollout = payload["rollout"]
@@ -234,8 +243,7 @@ def main(argv: list[str] | None = None) -> int:
             f" reenabled={len(drift['reenabled'])} instances,"
             f" latency={payload['reenable_latency_ns']}ns"
         )
-    print(f"{'CLEAN' if clean else 'VIOLATED'} -> {args.output}")
-    return 0 if clean else 1
+    return write_results(args.output, payload, [hub], clean)
 
 
 if __name__ == "__main__":

@@ -18,7 +18,10 @@ is **clean** when the fleet settles with every instance HEALTHY or
 cleanly QUARANTINED, every request is accounted (served, failed over,
 or logged as failed), and the injection log matches the armed plan.
 
-Results go to ``results/supervisor_chaos.json`` (or ``--output``).
+Each seed runs under its own telemetry hub: the committed report
+(``results/supervisor_chaos.json`` or ``--output``) carries summaries
+and per-scenario digests only, while the full per-seed event streams
+land in the uncommitted ``<output>.jsonl`` sidecar.
 
 Usage::
 
@@ -29,7 +32,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 from random import Random
@@ -45,7 +47,9 @@ from ..fleet import (
     inject_chaos,
 )
 from ..kernel import Kernel
+from ..telemetry import TelemetryHub
 from ..workloads import SECOND_NS, TimelineEvent, run_request_timeline
+from .campaign import run_recorded, write_results
 
 SCENARIOS = ("crash", "wedge", "corrupt", "quarantine")
 #: bounded post-workload settling: heartbeats until the fleet is quiet
@@ -72,7 +76,7 @@ def _arm_scenario(plan: FaultPlan, scenario: str, rng: Random) -> None:
         plan.arm("restore.memory", "permanent", probability=1.0, times=0)
 
 
-def run_campaign(args, seed: int) -> dict:
+def run_campaign(args, seed: int, hub: TelemetryHub) -> dict:
     rng = Random(seed)
     scenario = rng.choice(SCENARIOS)
     app = get_app(args.app)
@@ -83,6 +87,7 @@ def run_campaign(args, seed: int) -> dict:
         probe_requests=2,
     )
     controller = FleetController(Kernel(), app, policy, size=args.size)
+    hub.bind_clock(lambda: controller.kernel.clock_ns)
     controller.spawn_fleet()
     RolloutExecutor(controller).run()      # customize offline, then guard
     supervisor = FleetSupervisor(controller)
@@ -138,6 +143,12 @@ def run_campaign(args, seed: int) -> dict:
         if record.state is HealthState.QUARANTINED
     ]
     ok = supervisor.settled and accounted and plan.consistent_with_plan()
+    # digest, not the full stream: per-kind counts (the complete event
+    # sequence lives in the telemetry JSONL sidecar)
+    event_digest: dict[str, int] = {}
+    for event in supervisor.events:
+        event_digest[event.kind] = event_digest.get(event.kind, 0) + 1
+    registry = hub.registry
     return {
         "seed": seed,
         "scenario": scenario,
@@ -150,16 +161,16 @@ def run_campaign(args, seed: int) -> dict:
             {"instance": o.instance, "succeeded": o.succeeded, "source": o.source}
             for o in supervisor.recoveries
         ],
-        "faults_fired": [
-            {"site": r.site, "call": r.call_index, "kind": r.kind}
-            for r in plan.log
-        ],
-        "events": [e.to_dict() for e in supervisor.events],
+        "faults_fired": len(plan.log),
+        "events": dict(sorted(event_digest.items())),
+        "breakers": supervisor.breaker_status(),
         "workload": {
-            "total_requests": timeline.total_requests,
+            "total_requests": registry.counter_value("workload_requests_total"),
             "served": served,
-            "failed_requests": timeline.failed_requests,
-            "failed_over_requests": timeline.failed_over_requests,
+            "failed_requests": registry.counter_value("workload_failed_total"),
+            "failed_over_requests": registry.counter_value(
+                "workload_failed_over_total"
+            ),
             "errors": len(timeline.errors),
         },
     }
@@ -182,10 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     campaigns = []
+    hubs = []
     for index in range(args.seeds):
         seed = args.seed_base + index
-        campaign = run_campaign(args, seed)
+        campaign, hub = run_recorded(
+            f"supervisor-{seed}", lambda hub: run_campaign(args, seed, hub)
+        )
         campaigns.append(campaign)
+        hubs.append(hub)
         workload = campaign["workload"]
         print(
             f"seed {seed} [{campaign['scenario']:<10}] "
@@ -206,14 +221,10 @@ def main(argv: list[str] | None = None) -> int:
         "campaigns_ok": sum(1 for c in campaigns if c["ok"]),
         "campaigns": campaigns,
     }
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(
-        f"{'CLEAN' if clean else 'VIOLATED'} "
-        f"({payload['campaigns_ok']}/{payload['campaigns_total']}) "
-        f"-> {args.output}"
+    return write_results(
+        args.output, payload, hubs, clean,
+        banner=f"({payload['campaigns_ok']}/{payload['campaigns_total']})",
     )
-    return 0 if clean else 1
 
 
 if __name__ == "__main__":

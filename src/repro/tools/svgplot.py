@@ -1,8 +1,9 @@
-"""Minimal dependency-free SVG line charts.
+"""Minimal dependency-free SVG charts.
 
 Enough to regenerate the paper's line figures (throughput timeline,
-live-blocks-over-time) as actual image files in ``results/`` without
-pulling in matplotlib.
+live-blocks-over-time) and the telemetry CLI's cost summaries (bar
+charts) as actual image files in ``results/`` without pulling in
+matplotlib.
 """
 
 from __future__ import annotations
@@ -122,6 +123,88 @@ class LineChart:
                 f'<text x="{self.width - m - 100}" y="{legend_y + 4}">'
                 f'{series.label}</text>'
             )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())
+
+
+@dataclass
+class BarChart:
+    """Labeled vertical bars with axes and per-bar value captions."""
+
+    title: str
+    x_label: str
+    y_label: str
+    bars: list[tuple[str, float]] = field(default_factory=list)
+    width: int = 640
+    height: int = 400
+    margin: int = 56
+
+    def add_bar(self, label: str, value: float) -> None:
+        self.bars.append((label, float(value)))
+
+    def to_svg(self) -> str:
+        m = self.margin
+        plot_w = self.width - 2 * m
+        plot_h = self.height - 2 * m
+        y_max = max((value for __, value in self.bars), default=0.0)
+        if y_max <= 0:
+            y_max = 1.0
+        y_max *= 1.08
+
+        def sy(y: float) -> float:
+            return self.height - m - y / y_max * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{self.title}</text>',
+            f'<line x1="{m}" y1="{self.height - m}" x2="{self.width - m}" '
+            f'y2="{self.height - m}" stroke="black"/>',
+            f'<line x1="{m}" y1="{m}" x2="{m}" y2="{self.height - m}" '
+            'stroke="black"/>',
+            f'<text x="{self.width / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{self.x_label}</text>',
+            f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.height / 2})">{self.y_label}</text>',
+        ]
+        for i in range(6):
+            y_val = y_max * i / 5
+            y_pix = sy(y_val)
+            parts.append(
+                f'<line x1="{m - 4}" y1="{y_pix:.1f}" x2="{m}" '
+                f'y2="{y_pix:.1f}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{m - 8}" y="{y_pix + 4:.1f}" '
+                f'text-anchor="end">{y_val:g}</text>'
+            )
+        if self.bars:
+            slot = plot_w / len(self.bars)
+            bar_w = max(4.0, slot * 0.6)
+            for index, (label, value) in enumerate(self.bars):
+                color = _COLORS[index % len(_COLORS)]
+                x = m + index * slot + (slot - bar_w) / 2
+                top = sy(max(0.0, value))
+                bar_h = self.height - m - top
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_w:.1f}" '
+                    f'height="{bar_h:.1f}" fill="{color}"/>'
+                )
+                cx = x + bar_w / 2
+                parts.append(
+                    f'<text x="{cx:.1f}" y="{top - 4:.1f}" '
+                    f'text-anchor="middle" font-size="10">{value:g}</text>'
+                )
+                parts.append(
+                    f'<text x="{cx:.1f}" y="{self.height - m + 16}" '
+                    f'text-anchor="middle">{label}</text>'
+                )
         parts.append("</svg>")
         return "\n".join(parts)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .. import telemetry
 from ..kernel.kernel import Kernel
 
 SECOND_NS = 1_000_000_000
@@ -144,4 +145,26 @@ def run_request_timeline(
         TimelinePoint(index * bucket_ns, buckets.get(index, 0))
         for index in range(n_buckets)
     ]
+    telemetry.count("workload_requests_total", result.total_requests)
+    telemetry.count("workload_failed_total", result.failed_requests)
+    telemetry.count("workload_failed_over_total", result.failed_over_requests)
+    scale = SECOND_NS / bucket_ns
+    for point in result.points:
+        telemetry.sample(
+            "throughput_rps", start + point.start_ns, point.completed * scale
+        )
+    telemetry.emit(
+        "workload", "timeline",
+        clock_ns=kernel.clock_ns,
+        start_ns=start,
+        duration_ns=duration_ns,
+        bucket_ns=bucket_ns,
+        total_requests=result.total_requests,
+        failed_requests=result.failed_requests,
+        failed_over_requests=result.failed_over_requests,
+        errors=len(result.errors),
+        events_fired=len(result.events_fired),
+        min_bucket=result.min_bucket(),
+        max_bucket=result.max_bucket(),
+    )
     return result

@@ -1,10 +1,10 @@
-"""Tests for the dependency-free SVG line charts."""
+"""Tests for the dependency-free SVG charts."""
 
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 
-from repro.tools.svgplot import LineChart
+from repro.tools.svgplot import BarChart, LineChart
 
 
 def _chart() -> LineChart:
@@ -61,4 +61,73 @@ class TestLineChart:
     def test_save(self, tmp_path):
         path = tmp_path / "chart.svg"
         _chart().save(path)
+        assert path.read_text().startswith("<svg")
+
+
+def _bars() -> BarChart:
+    chart = BarChart("Rewrite cost", "instance", "ms")
+    chart.add_bar("web-0", 12.5)
+    chart.add_bar("web-1", 7.25)
+    chart.add_bar("web-2", 0.0)
+    return chart
+
+
+class TestBarChart:
+    def test_output_is_wellformed_xml(self):
+        root = ET.fromstring(_bars().to_svg())
+        assert root.tag.endswith("svg")
+
+    def test_title_and_labels_present(self):
+        svg = _bars().to_svg()
+        assert "Rewrite cost" in svg
+        assert "instance" in svg
+        assert "ms" in svg
+
+    def test_one_rect_per_bar_plus_background(self):
+        svg = _bars().to_svg()
+        # one background rect + one rect per bar
+        assert svg.count("<rect") == 1 + 3
+
+    def test_bar_labels_and_value_captions(self):
+        svg = _bars().to_svg()
+        assert ">web-0</text>" in svg
+        assert ">web-1</text>" in svg
+        assert "12.5" in svg
+
+    def test_bars_scaled_into_plot_area(self):
+        chart = _bars()
+        root = ET.fromstring(chart.to_svg())
+        ns = root.tag.split("}")[0] + "}" if "}" in root.tag else ""
+        rects = list(root.iter(f"{ns}rect"))[1:]     # skip background
+        for rect in rects:
+            x = float(rect.get("x"))
+            y = float(rect.get("y"))
+            assert 0 <= x <= chart.width
+            assert 0 <= y <= chart.height
+            assert float(rect.get("height")) >= 0
+
+    def test_taller_value_means_taller_bar(self):
+        chart = _bars()
+        root = ET.fromstring(chart.to_svg())
+        ns = root.tag.split("}")[0] + "}" if "}" in root.tag else ""
+        rects = list(root.iter(f"{ns}rect"))[1:]
+        heights = [float(rect.get("height")) for rect in rects]
+        assert heights[0] > heights[1] > heights[2]
+
+    def test_empty_series_renders_axes_only(self):
+        chart = BarChart("empty", "x", "y")
+        svg = chart.to_svg()
+        ET.fromstring(svg)
+        assert svg.count("<rect") == 1          # just the background
+        assert "empty" in svg
+
+    def test_all_zero_bars_do_not_crash(self):
+        chart = BarChart("zeros", "x", "y")
+        chart.add_bar("a", 0.0)
+        chart.add_bar("b", 0.0)
+        ET.fromstring(chart.to_svg())
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "bars.svg"
+        _bars().save(path)
         assert path.read_text().startswith("<svg")
