@@ -1,0 +1,91 @@
+"""DynaFlow refinement study: suspect-set shrinkage under dataflow proofs.
+
+The PR 1 baseline (``results/dynalint_refinement.json``) classifies
+removal sets with pure CFG reachability: every kept block is assumed
+live, so any removed block a kept block can reach stays ``SUSPECT``.
+The DynaFlow prover replaces that assumption with value-set analysis —
+resolved indirect-branch targets, an address-taken bound for the rest,
+and proven liveness roots — and re-classifies the same thin-profile
+removal sets over the server and SPEC guests.
+
+Measured here, per guest: removal-set size, legacy vs prove verdict
+counts, indirect-site resolution stats, and (for the guests run
+end-to-end under the verifier) every trap-restore attributed to its
+classification bucket.  The acceptance bar: at least 30% of the
+previously-suspect blocks upgrade, and **zero** verifier restores land
+in a block the prover marked ``PROVABLY_DEAD``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.tools.dynalint_cli import (
+    SERVER_GUESTS,
+    SPEC_GUESTS,
+    collect_refinement,
+)
+
+from conftest import print_table
+
+
+def test_dynaflow_refinement(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: collect_refinement(SERVER_GUESTS + SPEC_GUESTS),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    for row in results["guests"]:
+        verify = row.get("verify") or {}
+        rows.append([
+            row["guest"],
+            row["removal_set"],
+            row["legacy"]["suspect"],
+            row["prove"]["suspect"],
+            row["suspects_upgraded"],
+            row["flow"]["resolved_internal"] + row["flow"]["resolved_external"],
+            row["flow"]["unresolved"],
+            verify.get("trap_restores", "-"),
+            verify.get("provably_dead_restores", "-"),
+        ])
+    print_table(
+        "DynaFlow refinement: legacy CFG reachability vs dataflow proofs",
+        ["guest", "removal", "suspects", "proved", "upgraded",
+         "resolved", "unresolved", "restores", "dead restores"],
+        rows,
+    )
+    (results_dir / "dynaflow_refinement.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True)
+    )
+
+    totals = results["totals"]
+    # every guest must get a full proof — no hazard/unbounded fallback
+    assert all(r["mode"] == "prove" for r in results["guests"])
+    # ≥30% of previously-suspect blocks reclassified across the suite
+    assert totals["legacy_suspects"] > 0
+    assert totals["suspect_shrinkage_pct"] >= 30.0
+    # the prover's dead verdicts hold up at run time: the verifier never
+    # restored a block classified PROVABLY_DEAD
+    assert totals["provably_dead_restores"] == 0
+    # the end-to-end guests stayed functional under the wanted workload
+    verify_rows = [r["verify"] for r in results["guests"] if "verify" in r]
+    assert verify_rows, "at least one guest must run under the verifier"
+    for verify in verify_rows:
+        assert verify["responses"], "exercise traffic must get responses"
+    # indirect sites: the VSA must resolve the PLT tails everywhere and
+    # never leave a site unbounded on the server guests
+    for row in results["guests"]:
+        flow = row["flow"]
+        assert flow["resolved_external"] > 0
+        assert flow["unresolved"] <= 1
+    # comparison against the PR 1 baseline artifact, when present: the
+    # prove-mode refined sets must shrink the suspect pool it reported
+    baseline_path = results_dir / "dynalint_refinement.json"
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        legacy_counts = baseline["refined"]["classification"]
+        lighttpd = next(
+            r for r in results["guests"] if r["guest"] == "lighttpd"
+        )
+        assert lighttpd["prove"]["suspect"] < legacy_counts["suspect"]

@@ -1,7 +1,15 @@
 """Static binary analysis: CFG recovery, DynaLint program analyses,
 removal-set refinement, and rewritten-image lint."""
 
-from .cfg import BasicBlock, CfgBuilder, ControlFlowGraph, build_cfg, total_basic_blocks
+from .cfg import (
+    BasicBlock,
+    CfgBuilder,
+    ControlFlowGraph,
+    build_cfg,
+    cached_cfg,
+    image_digest,
+    total_basic_blocks,
+)
 from .plt import executed_plt_entries, plt_entries_in_blocks, plt_entry_at
 from .dominators import (
     VIRTUAL_ROOT,
@@ -34,7 +42,9 @@ __all__ = [
     "VIRTUAL_ROOT",
     "build_callgraph",
     "build_cfg",
+    "cached_cfg",
     "classify_block_starts",
+    "image_digest",
     "collectively_dominated",
     "compute_dominators",
     "executed_plt_entries",

@@ -86,11 +86,21 @@ class CallGraph:
 
 
 def build_callgraph(
-    image: SelfImage, cfg: ControlFlowGraph | None = None
+    image: SelfImage,
+    cfg: ControlFlowGraph | None = None,
+    resolved_indirect: dict[int, tuple[int, ...]] | None = None,
 ) -> CallGraph:
-    """Recover the call graph of ``image`` (reusing ``cfg`` if given)."""
+    """Recover the call graph of ``image`` (reusing ``cfg`` if given).
+
+    ``resolved_indirect`` maps ``callr`` instruction addresses to the
+    in-module targets the value-set analysis proved for them (see
+    :meth:`repro.analysis.dataflow.FlowReport.resolved_targets`); those
+    sites become ``"indirect-resolved"`` edges instead of opaque
+    indirect sites.
+    """
     if cfg is None:
         cfg = build_cfg(image)
+    resolved_indirect = resolved_indirect or {}
     graph = CallGraph(image.name)
 
     functions = sorted(
@@ -123,6 +133,20 @@ def build_callgraph(
                         caller, decoded.address, target, callee, "direct"
                     )
             elif decoded.mnemonic == "callr":
+                targets = resolved_indirect.get(decoded.address)
+                if targets:
+                    for target in targets:
+                        callee = graph.function_of(target)
+                        graph.sites.append(
+                            CallSite(
+                                caller, decoded.address, target, callee,
+                                "indirect-resolved",
+                            )
+                        )
+                        if callee is not None and caller:
+                            graph.edges.setdefault(caller, set()).add(callee)
+                            graph.rev_edges.setdefault(callee, set()).add(caller)
+                    continue
                 site = CallSite(caller, decoded.address, None, None, "indirect")
             else:
                 continue

@@ -18,8 +18,10 @@ has, which is why symbol seeds matter.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
+from .. import telemetry
 from ..binfmt.self_format import SelfImage
 from ..isa.disassembler import DecodedInstruction, disassemble_one
 from ..isa.encoding import DecodeError
@@ -182,6 +184,64 @@ class CfgBuilder:
 def build_cfg(image: SelfImage) -> ControlFlowGraph:
     """Recover the static CFG of ``image``."""
     return CfgBuilder(image).build()
+
+
+def image_digest(image: SelfImage) -> str:
+    """Content digest over everything static analysis reads.
+
+    Covers every segment's bytes, the entry point, symbols, PLT stubs,
+    and dynamic relocations — two images with equal digests produce
+    identical CFGs *and* identical dataflow results, which is what
+    makes :func:`cached_cfg` (and the DynaFlow report cache) safe
+    across rewrites: a patched segment changes the digest.
+    """
+    h = hashlib.sha256()
+    h.update(image.entry.to_bytes(8, "little"))
+    h.update(image.kind.value.encode())
+    for seg in sorted(image.segments, key=lambda s: s.vaddr):
+        h.update(seg.name.encode())
+        h.update(seg.vaddr.to_bytes(8, "little"))
+        h.update(seg.perms.encode())
+        h.update(seg.data)
+    for name, sym in sorted(image.symbols.items()):
+        h.update(name.encode())
+        h.update(sym.vaddr.to_bytes(8, "little"))
+        h.update(bytes([sym.is_function, sym.is_global]))
+    for name, stub in sorted(image.plt_entries.items()):
+        h.update(name.encode())
+        h.update(stub.to_bytes(8, "little"))
+    for reloc in image.dynamic_relocs:
+        h.update(reloc.vaddr.to_bytes(8, "little"))
+        h.update(reloc.type.value.encode())
+        h.update(reloc.symbol.encode())
+        h.update(reloc.addend.to_bytes(8, "little", signed=True))
+    return h.hexdigest()
+
+
+#: digest → recovered CFG, shared by every linter/analyzer instance
+_CFG_CACHE: dict[str, ControlFlowGraph] = {}
+_CFG_CACHE_LIMIT = 64
+
+
+def cached_cfg(image: SelfImage) -> ControlFlowGraph:
+    """``build_cfg`` with a content-digest cache.
+
+    CFG recovery is the dominant cost of linting a checkpoint; the same
+    pristine binary is decoded once per lint invocation otherwise.  The
+    cache key is :func:`image_digest`, so a rewritten image never hits
+    a stale entry.
+    """
+    digest = image_digest(image)
+    cached = _CFG_CACHE.get(digest)
+    if cached is not None:
+        telemetry.count("cfg_cache_hits", image=image.name)
+        return cached
+    telemetry.count("cfg_cache_misses", image=image.name)
+    cfg = CfgBuilder(image).build()
+    if len(_CFG_CACHE) >= _CFG_CACHE_LIMIT:
+        _CFG_CACHE.pop(next(iter(_CFG_CACHE)))
+    _CFG_CACHE[digest] = cfg
+    return cfg
 
 
 def total_basic_blocks(image: SelfImage) -> int:

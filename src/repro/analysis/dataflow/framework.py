@@ -1,0 +1,218 @@
+"""Lattice-generic worklist dataflow solver.
+
+The engine is deliberately small: a :class:`DataflowProblem` supplies
+the lattice (``bottom``/``join``/``equals``), the direction, and a
+block-level ``transfer`` function; :func:`solve` iterates a worklist in
+(reverse) postorder until the block states stop changing.
+
+Two guards keep a buggy client from hanging the analyzer:
+
+* **monotonicity** — every recomputed output must sit above the old one
+  in the lattice (``join(old, new) == new``).  A transfer function that
+  loses information would otherwise oscillate forever; the violation is
+  reported as :class:`MonotonicityError` at the offending block.  The
+  check stops once widening starts on a block: the widened output
+  over-approximates ``transfer(input)`` by design, so later exact
+  recomputations may sit below it without any client bug.
+* **fixpoint bound** — after ``widen_after`` visits of one block the
+  client's ``widen`` hook is applied to accelerate convergence, and
+  after ``max_visits`` visits :class:`FixpointError` is raised instead
+  of looping.
+
+States are treated as immutable values; ``None`` marks an unreached
+block (the implicit bottom below the client lattice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Generic, Mapping, Sequence, TypeVar
+
+S = TypeVar("S")
+
+Edges = Mapping[int, tuple[int, ...]]
+
+
+class Direction(Enum):
+    """Propagation direction of an analysis."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowError(RuntimeError):
+    """Base class for solver failures."""
+
+
+class FixpointError(DataflowError):
+    """The worklist did not converge within the visit budget."""
+
+
+class MonotonicityError(DataflowError):
+    """A transfer function produced a state below its previous output."""
+
+
+@dataclass
+class DataflowProblem(Generic[S]):
+    """One analysis instance over a set of blocks.
+
+    ``transfer(block, state)`` maps the block's input state to its
+    output state (for backward problems "input" is the join over the
+    successors).  ``boundary`` is the state injected at entry blocks
+    (exit blocks for backward problems).
+    """
+
+    direction: Direction
+    boundary: S
+    join: Callable[[S, S], S]
+    transfer: Callable[[int, S], S]
+    equals: Callable[[S, S], bool]
+    widen: Callable[[S, S], S] | None = None
+    widen_after: int = 8
+    max_visits: int = 128
+    check_monotone: bool = True
+
+
+@dataclass
+class Solution(Generic[S]):
+    """Fixpoint states per block plus solver statistics."""
+
+    inputs: dict[int, S] = field(default_factory=dict)
+    outputs: dict[int, S] = field(default_factory=dict)
+    visits: int = 0
+
+    def input_of(self, block: int) -> S | None:
+        return self.inputs.get(block)
+
+    def output_of(self, block: int) -> S | None:
+        return self.outputs.get(block)
+
+
+def _postorder(blocks: Sequence[int], edges: Edges, roots: Sequence[int]) -> list[int]:
+    known = set(blocks)
+    order: list[int] = []
+    visited: set[int] = set()
+    for root in roots:
+        if root in visited or root not in known:
+            continue
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                order.append(node)
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            for succ in edges.get(node, ()):
+                if succ in known and succ not in visited:
+                    stack.append((succ, False))
+    # unreachable blocks keep a stable position after the reachable ones
+    order.extend(b for b in blocks if b not in visited)
+    return order
+
+
+def _invert(blocks: Sequence[int], edges: Edges) -> dict[int, tuple[int, ...]]:
+    rev: dict[int, list[int]] = {b: [] for b in blocks}
+    known = set(blocks)
+    for src in blocks:
+        for dst in edges.get(src, ()):
+            if dst in known:
+                rev[dst].append(src)
+    return {b: tuple(preds) for b, preds in rev.items()}
+
+
+def solve(
+    blocks: Sequence[int],
+    edges: Edges,
+    entries: Sequence[int],
+    problem: DataflowProblem[S],
+) -> Solution[S]:
+    """Run ``problem`` to fixpoint over ``blocks``.
+
+    ``entries`` are the boundary blocks: entry blocks of the region for
+    forward problems, exit blocks for backward ones.  Blocks never
+    reached by propagation keep no state (``None`` from the accessors).
+    """
+    blocks = list(dict.fromkeys(blocks))
+    known = set(blocks)
+    entries = [b for b in dict.fromkeys(entries) if b in known]
+
+    if problem.direction is Direction.FORWARD:
+        flow = {b: tuple(s for s in edges.get(b, ()) if s in known) for b in blocks}
+        preds = _invert(blocks, edges)
+        order = _postorder(blocks, edges, entries)[::-1]
+    else:
+        preds_fwd = _invert(blocks, edges)
+        flow = preds_fwd
+        preds = {b: tuple(s for s in edges.get(b, ()) if s in known) for b in blocks}
+        order = _postorder(blocks, preds_fwd, entries)[::-1]
+
+    position = {b: i for i, b in enumerate(order)}
+    solution: Solution[S] = Solution()
+    visit_counts: dict[int, int] = {b: 0 for b in blocks}
+
+    pending = set(order)
+    worklist = sorted(pending, key=lambda b: position[b])
+    while worklist:
+        block = worklist.pop(0)
+        pending.discard(block)
+
+        state: S | None = None
+        for pred in preds.get(block, ()):
+            pred_out = solution.outputs.get(pred)
+            if pred_out is None:
+                continue
+            state = pred_out if state is None else problem.join(state, pred_out)
+        if block in entries:
+            state = (
+                problem.boundary
+                if state is None
+                else problem.join(state, problem.boundary)
+            )
+        if state is None:
+            continue    # unreached so far
+
+        visit_counts[block] += 1
+        solution.visits += 1
+        if visit_counts[block] > problem.max_visits:
+            raise FixpointError(
+                f"block {block:#x} visited more than {problem.max_visits} "
+                "times without converging"
+            )
+
+        new_out = problem.transfer(block, state)
+        old_out = solution.outputs.get(block)
+        if old_out is not None:
+            # Once widening has lifted this block's stored output above
+            # transfer(input), a recomputed output legitimately lands
+            # below it — the monotonicity guard is only meaningful while
+            # outputs are still exact transfer results.
+            widening = (
+                problem.widen is not None
+                and visit_counts[block] > problem.widen_after
+            )
+            if widening:
+                assert problem.widen is not None
+                new_out = problem.widen(old_out, new_out)
+            elif problem.check_monotone:
+                joined = problem.join(old_out, new_out)
+                if not problem.equals(joined, new_out):
+                    raise MonotonicityError(
+                        f"transfer at block {block:#x} dropped below its "
+                        "previous output"
+                    )
+        if old_out is not None and problem.equals(old_out, new_out):
+            solution.inputs[block] = state
+            continue
+
+        solution.inputs[block] = state
+        solution.outputs[block] = new_out
+        for succ in flow.get(block, ()):
+            if succ not in pending:
+                pending.add(succ)
+                worklist.append(succ)
+        worklist.sort(key=lambda b: position[b])
+    return solution

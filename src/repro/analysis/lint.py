@@ -25,7 +25,18 @@ Diagnostic codes (stable, used by tests and the CLI):
            executable bytes
 ``DL402``  the SIGTRAP restorer does not point at mapped executable
            bytes
+``DL501``  the guest contains a definite self-modifying store: a store
+           whose value-set provably intersects executable bytes
+``DL502``  a store derived from a code pointer is unbounded and *may*
+           alias executable bytes (warning severity — unprovable)
+``DL503``  a definite self-modifying store rewrites a live decoded CFG
+           block (icache-coherence hazard for cached superblocks)
 ========  ============================================================
+
+The DL50x rules come from the DynaFlow value-set analysis
+(:mod:`repro.analysis.dataflow`); they lint the *guest's own* code, not
+the rewrite, because a self-modifying guest silently invalidates every
+static proof the customization pipeline makes about its text.
 """
 
 from __future__ import annotations
@@ -38,7 +49,7 @@ from ..isa.instructions import INT3_OPCODE
 from ..kernel.kernel import Kernel
 from ..kernel.signals import Signal
 from ..criu.images import CheckpointImage, ImageError, ProcessImage, VmaEntry
-from .cfg import ControlFlowGraph, build_cfg
+from .cfg import ControlFlowGraph, cached_cfg
 
 INJECT_TAG_PREFIX = "dynacut:"
 
@@ -51,9 +62,14 @@ class LintDiagnostic:
     pid: int
     address: int
     message: str
+    severity: str = "error"     # "error" | "warning"
 
     def __str__(self) -> str:
-        return f"{self.code} pid={self.pid} @{self.address:#x}: {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return (
+            f"{self.code}{tag} pid={self.pid} @{self.address:#x}: "
+            f"{self.message}"
+        )
 
 
 @dataclass
@@ -64,7 +80,16 @@ class LintReport:
 
     @property
     def ok(self) -> bool:
-        return not self.diagnostics
+        """Clean of *errors* — warning-severity findings don't fail."""
+        return not self.errors
+
+    @property
+    def errors(self) -> list[LintDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[LintDiagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
 
     @property
     def codes(self) -> set[str]:
@@ -74,11 +99,34 @@ class LintReport:
         return [diag for diag in self.diagnostics if diag.code == code]
 
     def summary(self) -> str:
-        if self.ok:
+        if not self.diagnostics:
             return "dynalint: image clean"
         lines = [f"dynalint: {len(self.diagnostics)} finding(s)"]
         lines += [f"  {diag}" for diag in self.diagnostics]
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """Deterministic JSON-ready form (stable diagnostic order)."""
+        return {
+            "ok": self.ok,
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+            },
+            "diagnostics": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "pid": d.pid,
+                    "address": d.address,
+                    "message": d.message,
+                }
+                for d in sorted(
+                    self.diagnostics,
+                    key=lambda d: (d.pid, d.code, d.address, d.message),
+                )
+            ],
+        }
 
 
 class ImageLinter:
@@ -98,16 +146,23 @@ class ImageLinter:
             self._lint_injected_vmas(image)
             self._lint_handler_got(image)
             self._lint_sigtrap(image)
+            self._lint_store_hazards(image)
+        self.report.diagnostics.sort(
+            key=lambda d: (d.pid, d.code, d.address, d.message)
+        )
         return self.report
 
-    def _emit(self, code: str, pid: int, address: int, message: str) -> None:
+    def _emit(
+        self, code: str, pid: int, address: int, message: str,
+        severity: str = "error",
+    ) -> None:
         self.report.diagnostics.append(
-            LintDiagnostic(code, pid, address, message)
+            LintDiagnostic(code, pid, address, message, severity)
         )
 
     def _cfg(self, module: str, binary: SelfImage) -> ControlFlowGraph:
         if module not in self._cfgs:
-            self._cfgs[module] = build_cfg(binary)
+            self._cfgs[module] = cached_cfg(binary)
         return self._cfgs[module]
 
     # ------------------------------------------------------------------
@@ -353,6 +408,22 @@ class ImageLinter:
                     "DL402", image.pid, action.restorer,
                     "SIGTRAP restorer does not point at mapped executable "
                     "dumped bytes",
+                )
+
+    # ------------------------------------------------------------------
+    # DL5xx: self-modifying-store hazards (DynaFlow)
+
+    def _lint_store_hazards(self, image: ProcessImage) -> None:
+        from .dataflow.valueset import analyze_image_flow
+
+        for module, base in sorted(self._module_bases(image).items()):
+            binary = self.kernel.binaries[module]
+            flow = analyze_image_flow(binary, self._cfg(module, binary))
+            for hazard in flow.hazards:
+                self._emit(
+                    hazard.code, image.pid, base + hazard.address,
+                    f"{module}: {hazard.mnemonic} — {hazard.detail}",
+                    severity=hazard.severity,
                 )
 
     def _executable_at(self, image: ProcessImage, address: int) -> bool:

@@ -25,17 +25,39 @@ static CFG:
     entry (the cut set *collectively dominates* it), or no kept path
     exists at all.  Once the entries are patched the block can never
     execute, so it is safe to WIPE or unmap.
+
+**Prove mode** (``refine_removal_set(..., prove=True)``) replaces the
+legacy assumption that *every kept block is live* with proven liveness
+roots from the DynaFlow value-set analysis: the image entry point, the
+exports (for ``DYN`` images something outside the module may call
+them), and every address-taken code block.  Indirect branches — edges
+the static CFG cannot see — are added back from the analysis: resolved
+sites get their proven targets, unresolved sites get an edge to every
+address-taken block (indirect control flow can only land on an
+address-taken value).  A kept block no liveness root reaches is not
+evidence of life, so suspects guarded only by unreachable kept code
+upgrade to ``PROVABLY_DEAD``.  The mode refuses to run (and falls back
+to the legacy classification, recording why) when the analysis finds a
+definite self-modifying store or an unresolved indirect site with an
+empty address-taken set — in both cases the static CFG itself is not
+trustworthy.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
-from ..binfmt.self_format import SelfImage
+from .. import telemetry
+from ..binfmt.self_format import ImageKind, SelfImage
 from ..tracing.drcov import BlockRecord
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
 from .dominators import collectively_dominated
+
+if TYPE_CHECKING:
+    from .dataflow.valueset import FlowReport
 
 
 class BlockClass(Enum):
@@ -56,6 +78,15 @@ class RemovalClassification:
     suspect: list[BlockRecord] = field(default_factory=list)
     #: static block starts guarding the provably-dead set
     entry_starts: tuple[int, ...] = ()
+    #: which classification ran: "legacy", "prove", or "prove-fallback"
+    mode: str = "legacy"
+    #: why prove mode fell back to legacy, when it did
+    fallback_reason: str | None = None
+    #: the legacy verdict counts, kept for comparison when prove ran
+    legacy_counts: dict[str, int] | None = None
+    #: offsets of provably-dead records safe to WIPE: no healable trap
+    #: block can fall into their bytes afterwards
+    wipe_safe: tuple[int, ...] = ()
 
     @property
     def removable(self) -> list[BlockRecord]:
@@ -79,24 +110,62 @@ class RemovalClassification:
             return BlockClass.SUSPECT
         return None
 
+    def wipe_safe_records(self) -> list[BlockRecord]:
+        """The provably-dead records whose bytes may be wiped."""
+        safe = set(self.wipe_safe)
+        return [r for r in self.provably_dead if r.offset in safe]
+
+    def to_dict(self) -> dict[str, object]:
+        """Deterministic JSON-ready form (sorted addresses, stable keys)."""
+        def _records(records: list[BlockRecord]) -> list[dict[str, int]]:
+            return [
+                {"offset": r.offset, "size": r.size}
+                for r in sorted(records, key=lambda r: (r.offset, r.size))
+            ]
+
+        out: dict[str, object] = {
+            "module": self.module,
+            "mode": self.mode,
+            "counts": self.counts,
+            "entry_starts": sorted(self.entry_starts),
+            "provably_dead": _records(self.provably_dead),
+            "trap_required": _records(self.trap_required),
+            "suspect": _records(self.suspect),
+            "wipe_safe": sorted(self.wipe_safe),
+        }
+        if self.fallback_reason is not None:
+            out["fallback_reason"] = self.fallback_reason
+        if self.legacy_counts is not None:
+            out["legacy_counts"] = dict(sorted(self.legacy_counts.items()))
+        return out
+
 
 def classify_block_starts(
     cfg: ControlFlowGraph,
     removed_starts: set[int],
     entry_starts: set[int],
+    roots: set[int] | None = None,
+    extra_edges: Mapping[int, tuple[int, ...]] | None = None,
 ) -> dict[int, BlockClass]:
     """Classify removed *static* block starts against the kept graph.
 
     ``entry_starts`` are the trap-guarded dispatcher arms; every other
     removed start becomes SUSPECT when kept code reaches it without
     crossing an entry, PROVABLY_DEAD otherwise.
+
+    By default every kept block counts as live.  ``roots`` restricts
+    liveness to blocks reachable from the given proven-live starts
+    (prove mode); ``extra_edges`` adds indirect-branch edges the static
+    CFG recovery could not see.
     """
     all_starts = cfg.block_starts()
     kept_starts = all_starts - removed_starts
+    edges = _merge_edges(cfg.edges, extra_edges)
+    sources = kept_starts if roots is None else (roots & kept_starts)
     # blocks whose every kept path crosses the entry cut set …
-    guarded = collectively_dominated(cfg.edges, kept_starts, entry_starts)
-    # … plus blocks kept code cannot reach at all
-    reached = _reachable(cfg.edges, kept_starts)
+    guarded = collectively_dominated(edges, sources, entry_starts)
+    # … plus blocks live code cannot reach at all
+    reached = _reachable(edges, sources)
     verdicts: dict[int, BlockClass] = {}
     for start in removed_starts:
         if start in entry_starts:
@@ -108,7 +177,21 @@ def classify_block_starts(
     return verdicts
 
 
-def _reachable(edges, roots) -> set[int]:
+def _merge_edges(
+    edges: Mapping[int, tuple[int, ...]],
+    extra: Mapping[int, tuple[int, ...]] | None,
+) -> Mapping[int, tuple[int, ...]]:
+    if not extra:
+        return edges
+    merged = dict(edges)
+    for start, targets in extra.items():
+        merged[start] = tuple(dict.fromkeys(merged.get(start, ()) + targets))
+    return merged
+
+
+def _reachable(
+    edges: Mapping[int, tuple[int, ...]], roots: Iterable[int]
+) -> set[int]:
     seen: set[int] = set()
     stack = list(roots)
     while stack:
@@ -125,6 +208,7 @@ def refine_removal_set(
     records: list[BlockRecord],
     entries: list[BlockRecord] | None = None,
     cfg: ControlFlowGraph | None = None,
+    prove: bool = False,
 ) -> RemovalClassification:
     """Classify a dynamic removal set for one module.
 
@@ -136,6 +220,11 @@ def refine_removal_set(
     classified by the static blocks they cover; a record spanning
     several static blocks takes the most conservative verdict among
     them.
+
+    ``prove=True`` runs the DynaFlow value-set analysis first and
+    classifies against *proven* liveness roots and the augmented edge
+    map (see the module docstring).  The result's ``mode`` records
+    whether the proof ran, fell back, or was never requested.
     """
     if cfg is None:
         cfg = build_cfg(binary)
@@ -155,16 +244,43 @@ def refine_removal_set(
         for block in _covered_blocks(cfg, record)
     }
     removed_starts |= entry_starts
-    if not entries:
-        entry_starts = _frontier(cfg, removed_starts)
 
-    verdicts = classify_block_starts(cfg, removed_starts, entry_starts)
+    mode = "legacy"
+    fallback_reason: str | None = None
+    roots: set[int] | None = None
+    extra_edges: dict[int, tuple[int, ...]] | None = None
+    if prove:
+        from .dataflow.valueset import analyze_image_flow
+
+        flow = analyze_image_flow(binary, cfg)
+        fallback_reason = _prove_obstacle(flow)
+        if fallback_reason is None:
+            mode = "prove"
+            extra_edges = _indirect_edges(cfg, flow)
+            roots = _liveness_roots(binary, cfg, flow)
+        else:
+            mode = "prove-fallback"
+            telemetry.count(
+                "dynaflow_prove_fallbacks", image=binary.name
+            )
+
+    if not entries:
+        # the frontier must see the indirect edges too: a kept jmpr
+        # into the removed interior is a kept path the plain CFG misses
+        entry_starts = _frontier(cfg, removed_starts, extra_edges)
+
+    verdicts = classify_block_starts(
+        cfg, removed_starts, entry_starts, roots=roots, extra_edges=extra_edges
+    )
 
     out = RemovalClassification(
-        binary.name, entry_starts=tuple(sorted(entry_starts))
+        binary.name,
+        entry_starts=tuple(sorted(entry_starts)),
+        mode=mode,
+        fallback_reason=fallback_reason,
     )
     entry_offsets = {record.offset for record in entries}
-    for record in records:
+    for record in sorted(records, key=lambda r: (r.offset, r.size)):
         out_class = _record_verdict(
             cfg, record, verdicts, removed_starts, entry_offsets
         )
@@ -173,13 +289,165 @@ def refine_removal_set(
             BlockClass.TRAP_REQUIRED: out.trap_required,
             BlockClass.SUSPECT: out.suspect,
         }[out_class].append(record)
+
+    if mode == "prove":
+        legacy_verdicts = classify_block_starts(
+            cfg, removed_starts, entry_starts
+        )
+        legacy = {"provably_dead": 0, "trap_required": 0, "suspect": 0}
+        for record in records:
+            verdict = _record_verdict(
+                cfg, record, legacy_verdicts, removed_starts, entry_offsets
+            )
+            legacy[verdict.name.lower()] += 1
+        out.legacy_counts = legacy
+        upgraded = len(out.suspect) - legacy["suspect"]
+        telemetry.count(
+            "dynaflow_suspects_upgraded", max(0, -upgraded),
+            image=binary.name,
+        )
+
+    out.wipe_safe = _wipe_safe_offsets(cfg, out, verdicts, extra_edges)
     return out
 
 
-def _frontier(cfg: ControlFlowGraph, removed_starts: set[int]) -> set[int]:
+def _prove_obstacle(flow: "FlowReport") -> str | None:
+    """Why prove mode cannot trust the static CFG, or None."""
+    hazards = flow.definite_hazards
+    if hazards:
+        worst = hazards[0]
+        return (
+            f"{worst.code}: definite self-modifying store at "
+            f"{worst.address:#x} — the text the proof reasons over may "
+            "change at run time"
+        )
+    if flow.unresolved_sites() and not flow.address_taken:
+        site = flow.unresolved_sites()[0]
+        return (
+            f"unresolved indirect branch at {site.address:#x} with an "
+            "empty address-taken set — its targets cannot be bounded"
+        )
+    return None
+
+
+def _indirect_edges(
+    cfg: ControlFlowGraph, flow: "FlowReport"
+) -> dict[int, tuple[int, ...]]:
+    """Edges from indirect-branch blocks to their possible targets.
+
+    Resolved sites contribute their proven targets; unresolved sites
+    contribute the entire address-taken set (indirect control flow can
+    only land on an address-taken value); external sites leave the
+    module and contribute nothing.
+    """
+    block_of = _block_lookup(cfg)
+    taken_blocks = tuple(sorted(
+        {b for a in flow.address_taken if (b := block_of(a)) is not None}
+    ))
+    extra: dict[int, tuple[int, ...]] = {}
+    for site in flow.sites:
+        source = block_of(site.address)
+        if source is None or site.external:
+            continue
+        if site.resolved:
+            targets = tuple(sorted(
+                {b for t in site.targets if (b := block_of(t)) is not None}
+            ))
+        else:
+            targets = taken_blocks
+        if targets:
+            extra[source] = tuple(
+                dict.fromkeys(extra.get(source, ()) + targets)
+            )
+    return extra
+
+
+def _liveness_roots(
+    binary: SelfImage, cfg: ControlFlowGraph, flow: "FlowReport"
+) -> set[int]:
+    """Block starts proven (assumed) live before any removal.
+
+    The image entry, every address-taken block, and — for ``DYN``
+    images only — the exports: something outside a shared object may
+    call any global symbol, while an ``EXEC`` image's exports are only
+    reachable from within.
+    """
+    block_of = _block_lookup(cfg)
+    roots: set[int] = set()
+    entry_block = block_of(binary.entry)
+    if entry_block is not None:
+        roots.add(entry_block)
+    for address in flow.address_taken:
+        block = block_of(address)
+        if block is not None:
+            roots.add(block)
+    if binary.kind is ImageKind.DYN:
+        for sym in binary.exports().values():
+            block = block_of(sym.vaddr)
+            if block is not None:
+                roots.add(block)
+    return roots
+
+
+_BlockOf = Callable[[int], "int | None"]  # address → containing block start
+
+
+def _block_lookup(cfg: ControlFlowGraph) -> _BlockOf:
+    starts = sorted(b.start for b in cfg.blocks)
+    ends = {b.start: b.end for b in cfg.blocks}
+
+    def lookup(address: int) -> int | None:
+        index = bisect_right(starts, address) - 1
+        if index < 0:
+            return None
+        start = starts[index]
+        return start if address < ends[start] else None
+
+    return lookup
+
+
+def _wipe_safe_offsets(
+    cfg: ControlFlowGraph,
+    classification: RemovalClassification,
+    verdicts: dict[int, BlockClass],
+    extra_edges: Mapping[int, tuple[int, ...]] | None,
+) -> tuple[int, ...]:
+    """Provably-dead records whose bytes may be wiped outright.
+
+    Under the VERIFY trap policy a TRAP_REQUIRED site can *heal* and
+    resume; execution then continues along its successors.  A dead
+    block on such a path would run wiped bytes, so only dead records
+    unreachable from every trap block are wipe-safe.
+    """
+    edges = _merge_edges(cfg.edges, extra_edges)
+    trap_starts = [
+        start for start, verdict in verdicts.items()
+        if verdict is BlockClass.TRAP_REQUIRED
+    ]
+    downstream: set[int] = set()
+    for start in trap_starts:
+        downstream |= _reachable(edges, edges.get(start, ()))
+    safe: list[int] = []
+    for record in classification.provably_dead:
+        record_end = record.offset + record.size
+        covered = [
+            block.start for block in _covered_blocks(cfg, record)
+            if record.offset <= block.start and block.end <= record_end
+        ]
+        if covered and not any(start in downstream for start in covered):
+            safe.append(record.offset)
+    return tuple(sorted(safe))
+
+
+def _frontier(
+    cfg: ControlFlowGraph,
+    removed_starts: set[int],
+    extra_edges: Mapping[int, tuple[int, ...]] | None = None,
+) -> set[int]:
     """Removed blocks with a direct edge from a kept block."""
+    edges = _merge_edges(cfg.edges, extra_edges)
     frontier: set[int] = set()
-    for start, successors in cfg.edges.items():
+    for start, successors in edges.items():
         if start in removed_starts:
             continue
         frontier.update(s for s in successors if s in removed_starts)

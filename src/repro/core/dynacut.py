@@ -29,6 +29,7 @@ from enum import Enum
 from typing import Callable
 
 from .. import faults, telemetry
+from ..analysis.dataflow.liveness import live_in_registers
 from ..analysis.lint import LintReport, lint_checkpoint
 from ..analysis.reachability import RemovalClassification, refine_removal_set
 from ..binfmt.self_format import SelfImage
@@ -449,6 +450,7 @@ class DynaCut:
         feature: FeatureBlocks,
         blocks: list[BlockRecord] | None = None,
         dispatcher_symbol: str | None = None,
+        prove: bool = False,
     ) -> RemovalClassification:
         """Statically classify a feature's removal set (DynaLint).
 
@@ -456,6 +458,15 @@ class DynaCut:
         dispatch function; the feature's unique blocks in that function
         (its case arms) become the designated trap entries.  Without
         it, the feature's first executed block is the only entry.
+
+        ``prove=True`` runs the DynaFlow value-set analysis first and
+        classifies against the *resolved* indirect-branch targets
+        instead of assuming every removed block is reachable through
+        them; suspects that only looked reachable through an indirect
+        edge upgrade to provably-dead.  Falls back to the legacy
+        verdicts (recorded in ``fallback_reason``) when the analysis
+        finds a self-modifying-store hazard or cannot bound an
+        indirect site.
         """
         binary = self._module_binary(feature.module)
         blocks = list(blocks) if blocks is not None else list(feature.blocks)
@@ -472,7 +483,39 @@ class DynaCut:
             entries = (
                 [feature.entry] if feature.entry in blocks else blocks[:1]
             )
-        return refine_removal_set(binary, blocks, entries)
+        return refine_removal_set(binary, blocks, entries, prove=prove)
+
+    def _check_redirect_liveness(
+        self, binary: SelfImage, symbol: str, target_offset: int
+    ) -> None:
+        """DynaFlow sanity check on a §3.2.2 redirect target (non-fatal).
+
+        The redirected trap re-enters at ``target_offset`` with
+        whatever registers the dispatcher arm held, plus the saved-IP
+        fixup — only ``sp``/``fp`` and the callee-saved set are
+        guaranteed meaningful.  The liveness client computes which
+        registers the handler *reads before writing*; any live-in
+        argument/scratch register means the handler consumes dispatcher
+        state it may not hold at the trap site.  Real targets (error
+        responders taking the connection from their frame) come out
+        clean; the check warns through telemetry rather than failing,
+        because the value may still be intentional.
+        """
+        try:
+            live = live_in_registers(binary, target_offset)
+        except Exception:
+            # liveness is advisory; an undecodable target is caught by
+            # the rewriter itself
+            return
+        risky = sorted(live - {7, 8, 9, 10, 14, 15})
+        telemetry.count("dynaflow_redirect_checks")
+        if risky:
+            telemetry.count("dynaflow_redirect_live_in_flags")
+            telemetry.emit(
+                "analysis", "redirect-live-in",
+                symbol=symbol, offset=target_offset,
+                registers=",".join(f"r{r}" for r in risky),
+            )
 
     def disable_feature(
         self,
@@ -483,6 +526,7 @@ class DynaCut:
         redirect_symbol: str | None = None,
         refine: bool = False,
         dispatcher_symbol: str | None = None,
+        prove: bool = False,
     ) -> RewriteReport:
         """Block ``feature`` in the running process tree.
 
@@ -496,6 +540,11 @@ class DynaCut:
         code) are dropped instead of being discovered by runtime traps,
         provably-dead blocks may be wiped outright, and only the
         designated entries (see :meth:`refine_feature`) keep traps.
+        ``prove=True`` additionally runs the DynaFlow dataflow proofs
+        (see :meth:`refine_feature`); under :attr:`TrapPolicy.VERIFY`
+        with :attr:`BlockMode.WIPE` it also restricts outright wipes to
+        blocks the liveness client proved no healed trap block can fall
+        into — the rest of the dead set is trap-guarded instead.
         """
         module = feature.module
         binary = self._module_binary(module)
@@ -510,6 +559,9 @@ class DynaCut:
             if redirect_symbol is None:
                 raise RewriteError("redirect policy needs redirect_symbol")
             target_offset = binary.symbol_address(redirect_symbol)
+            self._check_redirect_liveness(
+                binary, redirect_symbol, target_offset
+            )
             # The saved-IP redirect is only sound when the trap fires in
             # the error handler's own frame (§3.2.2), so the blocking
             # point is the feature's first unique block *inside the
@@ -548,22 +600,45 @@ class DynaCut:
         else:
             blocks = self._blocks_for_mode(feature, mode)
             redirect_blocks = []
-            if refine:
+            if refine or prove:
                 refinement = self.refine_feature(
-                    feature, blocks, dispatcher_symbol
+                    feature, blocks, dispatcher_symbol, prove=prove
                 )
                 blocks = refinement.removable
+
+        # Under the verifier a trapped block can heal and run its tail
+        # into an adjacent wiped block.  With a dataflow proof on hand,
+        # wipe only the blocks the liveness client showed are not
+        # downstream of any trap entry; the rest stay trap-guarded.
+        wipe_guard: list[BlockRecord] = []
+        if (
+            refinement is not None
+            and refinement.mode == "prove"
+            and mode is BlockMode.WIPE
+            and policy is TrapPolicy.VERIFY
+        ):
+            safe = set(refinement.wipe_safe_records())
+            wipe_guard = [
+                b for b in refinement.provably_dead if b not in safe
+            ]
+            telemetry.count("dynaflow_wipe_guarded", len(wipe_guard))
 
         def actions(rewriter: ImageRewriter) -> None:
             if mode is BlockMode.WIPE:
                 if refinement is not None:
                     # wipe only what the analysis proved dead; the trap
                     # entries guard it and keep their original tails
-                    rewriter.wipe_blocks(module, refinement.provably_dead)
-                    if refinement.trap_required:
-                        rewriter.block_entry_int3(
-                            module, refinement.trap_required
-                        )
+                    guarded = set(wipe_guard)
+                    rewriter.wipe_blocks(
+                        module,
+                        [
+                            b for b in refinement.provably_dead
+                            if b not in guarded
+                        ],
+                    )
+                    trapped = list(refinement.trap_required) + wipe_guard
+                    if trapped:
+                        rewriter.block_entry_int3(module, trapped)
                 else:
                     rewriter.wipe_blocks(module, blocks)
             else:
@@ -583,7 +658,7 @@ class DynaCut:
                 # with a refined WIPE only the trap entries can heal; a
                 # wiped block's tail is gone, so its entry stays trapped
                 healable = (
-                    refinement.trap_required
+                    list(refinement.trap_required) + wipe_guard
                     if refinement is not None and mode is BlockMode.WIPE
                     else blocks
                 )
@@ -638,6 +713,7 @@ class DynaCut:
         wipe: bool = True,
         verify: bool = False,
         refine: bool = False,
+        prove: bool = False,
     ) -> RewriteReport:
         """Remove initialization-only blocks from the running tree.
 
@@ -646,12 +722,14 @@ class DynaCut:
         and installs the verifier so misclassified blocks self-heal.
         ``refine=True`` wipes only the statically provable interior of
         the removal set and leaves a trap frontier where kept code
-        borders it (the auto-frontier mode of the DynaLint classifier).
+        borders it (the auto-frontier mode of the DynaLint classifier);
+        ``prove=True`` upgrades the classification with the DynaFlow
+        dataflow proofs (resolved indirect targets, liveness).
         """
         binary = self._module_binary(module)
         refinement: RemovalClassification | None = None
-        if refine:
-            refinement = refine_removal_set(binary, blocks)
+        if refine or prove:
+            refinement = refine_removal_set(binary, blocks, prove=prove)
 
         def actions(rewriter: ImageRewriter) -> None:
             patchable = refinement.removable if refinement else blocks

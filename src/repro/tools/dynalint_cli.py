@@ -1,30 +1,55 @@
 """``dynalint`` CLI — static checks over rewritten checkpoint images.
 
-Two workflows::
+Three workflows::
 
     # run the quickstart rewrite and lint its image, optionally
     # exporting the rewritten image files to a host directory
-    python -m repro.tools.dynalint_cli demo [--export DIR]
+    python -m repro.tools.dynalint_cli demo [--export DIR] [--json]
 
     # lint previously exported image files from a host directory
-    python -m repro.tools.dynalint_cli lint DIR [--app redis]
+    python -m repro.tools.dynalint_cli lint DIR [--app redis] [--json]
+
+    # run the DynaFlow refinement study over the server/SPEC guests
+    # and emit the dynaflow_refinement.json results payload
+    python -m repro.tools.dynalint_cli analyze [--out FILE] [--json]
+                                               [--guest NAME ...]
 
 The linter needs the pristine binaries the image was built from, so
 ``lint`` boots the named application's kernel (staging registers the
 binaries without running the workload) before decoding the images.
 
-Exit status is 0 when the image is clean, 1 when any diagnostic fired.
+Exit status: ``demo``/``lint`` exit 0 when no *error*-severity
+diagnostic fired (warnings alone keep exit 0), 1 otherwise.
+``analyze`` exits 0 when every guest got a full dataflow proof (no
+fallback) and no verifier restore touched a provably-dead block.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
+from dataclasses import dataclass
+from typing import Callable
 
 from ..analysis.lint import lint_checkpoint
 from ..criu.images import CheckpointImage
 from ..kernel import Kernel
+
+#: server guests measured by ``analyze`` (feature-removal profiles)
+SERVER_GUESTS = ("redis", "lighttpd", "nginx")
+#: SPEC guests measured by ``analyze`` (init-code removal profiles)
+SPEC_GUESTS = ("600.perlbench_s", "605.mcf_s", "625.x264_s")
+#: symbol inside each server's command/request dispatch function
+DISPATCHERS = {
+    "redis": "dispatch",
+    "lighttpd": "lh_handle_request",
+    "nginx": "ngx_handle_request",
+}
+#: server guests whose refined removal also runs end-to-end under the
+#: verifier, attributing every trap-restore to a classification bucket
+VERIFY_GUESTS = ("redis", "lighttpd")
 
 
 class _HostFS:
@@ -55,7 +80,11 @@ def _stage_app(kernel: Kernel, app: str) -> None:
     stager(kernel, run_to_ready=False)
 
 
-def run_demo(export: pathlib.Path | None) -> int:
+def _emit_json(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def run_demo(export: pathlib.Path | None, as_json: bool = False) -> int:
     """The quickstart rewrite with the lint wired in."""
     from ..apps import REDIS_PORT, stage_redis
     from ..apps.kvstore import REDIS_BINARY
@@ -84,29 +113,365 @@ def run_demo(export: pathlib.Path | None) -> int:
         redirect_symbol="redis_unknown_cmd",
     )
     blocked = client.command("SET k v")
-    print(f"feature SET: {feature.count} unique blocks; "
-          f"blocked response: {blocked!r}")
 
     if export is not None:
         source_dir = dynacut.image_dir
         host = _HostFS(export)
         checkpoint = CheckpointImage.load(kernel.fs, source_dir)
         checkpoint.save(host, source_dir)
-        print(f"exported {len(checkpoint.processes)} process image(s) "
-              f"to {export}")
 
     assert report.lint is not None
-    print(report.lint.summary())
+    if as_json:
+        payload = report.lint.to_dict()
+        payload["feature_blocks"] = feature.count
+        payload["blocked_response"] = blocked
+        _emit_json(payload)
+    else:
+        print(f"feature SET: {feature.count} unique blocks; "
+              f"blocked response: {blocked!r}")
+        if export is not None:
+            print(f"exported image files to {export}")
+        print(report.lint.summary())
     return 0 if report.lint.ok else 1
 
 
-def run_lint(directory: pathlib.Path, app: str) -> int:
+def run_lint(directory: pathlib.Path, app: str, as_json: bool = False) -> int:
     kernel = Kernel()
     _stage_app(kernel, app)
     checkpoint = CheckpointImage.load(_HostFS(directory), ".")
     report = lint_checkpoint(kernel, checkpoint)
-    print(report.summary())
+    if as_json:
+        _emit_json(report.to_dict())
+    else:
+        print(report.summary())
     return 0 if report.ok else 1
+
+
+# ----------------------------------------------------------------------
+# the DynaFlow refinement study (the ``analyze`` subcommand)
+
+
+@dataclass
+class GuestProfile:
+    """One traced guest ready for removal-set classification."""
+
+    name: str
+    kind: str                       # server-feature | spec-init
+    kernel: Kernel
+    root: object                    # root Process
+    binary: str
+    blocks: list                    # removal set (BlockRecords)
+    entries: list | None            # designated trap entries, if any
+    feature: object | None = None   # FeatureBlocks for server guests
+    exercise: Callable[[], object] | None = None
+
+
+def _profile_redis_thin() -> GuestProfile:
+    """Thin wanted profile (PING+GET) vs a SET/APPEND write feature."""
+    from ..apps import REDIS_PORT, stage_redis
+    from ..apps.kvstore import READY_LINE, REDIS_BINARY
+    from ..core import TraceDiff
+    from ..tracing import BlockTracer
+    from ..workloads import RedisClient
+
+    kernel = Kernel()
+    proc = stage_redis(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text(),
+                     max_instructions=5_000_000)
+    tracer.nudge_dump()
+    client = RedisClient(kernel, REDIS_PORT)
+    client.command("PING")
+    client.command("GET greeting")
+    wanted = tracer.nudge_dump()
+    client.command("SET greeting hello")
+    client.command("APPEND greeting x")
+    undesired = tracer.finish()
+    feature = TraceDiff(REDIS_BINARY).feature_blocks(
+        "set-write", [wanted], [undesired]
+    )
+
+    def exercise() -> object:
+        # the wanted workload the customized server is kept for: PING,
+        # ECHO, and GET all dispatch *before* the trapped SET…APPEND
+        # chain arms, so no designated entry needs to heal
+        again = RedisClient(kernel, REDIS_PORT)
+        return [again.command("PING"), again.command("ECHO hi"),
+                again.command("GET greeting")]
+
+    return GuestProfile(
+        "redis", "server-feature", kernel, proc, REDIS_BINARY,
+        list(feature.blocks), None, feature, exercise,
+    )
+
+
+def _profile_lighttpd_thin() -> GuestProfile:
+    """Thin wanted profile (two GETs) vs the PUT/DELETE DAV feature."""
+    from ..apps import LIGHTTPD_PORT, stage_lighttpd
+    from ..apps.httpd_lighttpd import LIGHTTPD_BINARY, READY_LINE
+    from ..core import TraceDiff
+    from ..tracing import BlockTracer
+    from ..workloads import HttpClient
+
+    kernel = Kernel()
+    proc = stage_lighttpd(kernel, run_to_ready=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: READY_LINE in proc.stdout_text(),
+                     max_instructions=5_000_000)
+    tracer.nudge_dump()
+    client = HttpClient(kernel, LIGHTTPD_PORT)
+    kernel.fs.write_file("/var/www/about.html", "<p>about</p>")
+    client.get("/")
+    client.get("/about.html")
+    wanted = tracer.nudge_dump()
+    client.put("/probe.txt", "x")
+    client.delete("/probe.txt")
+    undesired = tracer.finish()
+    feature = TraceDiff(LIGHTTPD_BINARY).feature_blocks(
+        "dav-write", [wanted], [undesired]
+    )
+
+    def exercise() -> object:
+        again = HttpClient(kernel, LIGHTTPD_PORT)
+        return [again.get("/").status, again.get("/about.html").status,
+                again.get("/missing.html").status, again.head("/").status,
+                again.post("/echo", "abcd").status]
+
+    return GuestProfile(
+        "lighttpd", "server-feature", kernel, proc, LIGHTTPD_BINARY,
+        list(feature.blocks), None, feature, exercise,
+    )
+
+
+def _profile_nginx_thin() -> GuestProfile:
+    """Thin wanted profile against nginx's DAV feature (master+worker)."""
+    from ..apps import NGINX_PORT, nginx_worker, stage_nginx
+    from ..apps.httpd_nginx import NGINX_BINARY, READY_LINE, WORKER_LINE
+    from ..core import TraceDiff
+    from ..tracing import BlockTracer, merge_traces
+    from ..workloads import HttpClient
+
+    kernel = Kernel()
+    master = stage_nginx(kernel, run_to_ready=False)
+    tracer_m = BlockTracer(kernel, master).attach()
+    kernel.run_until(lambda: READY_LINE in master.stdout_text(),
+                     max_instructions=8_000_000)
+    worker = nginx_worker(kernel, master)
+    tracer_w = BlockTracer(kernel, worker).attach()
+    kernel.run_until(lambda: WORKER_LINE in worker.stdout_text(),
+                     max_instructions=2_000_000)
+    merge_traces([tracer_m.nudge_dump(), tracer_w.nudge_dump()])
+    client = HttpClient(kernel, NGINX_PORT)
+    kernel.fs.write_file("/var/www/about.html", "<p>about</p>")
+    client.get("/")
+    client.get("/about.html")
+    wanted = merge_traces([tracer_m.nudge_dump(), tracer_w.nudge_dump()])
+    client.put("/probe.txt", "x")
+    client.delete("/probe.txt")
+    undesired = merge_traces([tracer_m.finish(), tracer_w.finish()])
+    feature = TraceDiff(NGINX_BINARY).feature_blocks(
+        "dav-write", [wanted], [undesired]
+    )
+    return GuestProfile(
+        "nginx", "server-feature", kernel, master, NGINX_BINARY,
+        list(feature.blocks), None, feature, None,
+    )
+
+
+def _profile_spec_init(name: str) -> GuestProfile:
+    """Init-only removal set of one SPEC-like guest."""
+    from ..apps import get_benchmark, stage_spec
+    from ..apps.spec import INIT_DONE_LINE
+    from ..core import init_only_blocks
+    from ..tracing import BlockTracer
+
+    bench = get_benchmark(name)
+    kernel = Kernel()
+    proc = stage_spec(kernel, name, iterations=2, run_to_init=False)
+    tracer = BlockTracer(kernel, proc).attach()
+    kernel.run_until(lambda: INIT_DONE_LINE in proc.stdout_text(),
+                     max_instructions=20_000_000)
+    init_trace = tracer.nudge_dump(quiesce=False)
+    kernel.run(max_instructions=1_500_000)
+    serving = tracer.finish(quiesce=False)
+    report = init_only_blocks(init_trace, serving, bench.binary)
+    return GuestProfile(
+        name, "spec-init", kernel, proc, bench.binary,
+        list(report.init_only), None, None, None,
+    )
+
+
+_PROFILERS: dict[str, Callable[[], GuestProfile]] = {
+    "redis": _profile_redis_thin,
+    "lighttpd": _profile_lighttpd_thin,
+    "nginx": _profile_nginx_thin,
+    **{name: (lambda n=name: _profile_spec_init(n)) for name in SPEC_GUESTS},
+}
+
+
+def _dispatcher_entries(profile: GuestProfile) -> list | None:
+    """The feature's blocks inside the app's dispatch function."""
+    from ..core.dynacut import enclosing_function
+
+    dispatcher = DISPATCHERS.get(profile.name)
+    if dispatcher is None:
+        return None
+    binary = profile.kernel.binaries[profile.binary]
+    dispatcher_fn = enclosing_function(
+        binary, binary.symbol_address(dispatcher)
+    )
+    entries = [
+        block for block in profile.blocks
+        if enclosing_function(binary, block.offset) == dispatcher_fn
+    ]
+    return entries or None
+
+
+def _flow_summary(image) -> dict:
+    """Deterministic indirect-resolution/hazard stats for one image."""
+    from ..analysis.dataflow import analyze_image_flow
+
+    flow = analyze_image_flow(image)
+    internal = [s for s in flow.sites if s.resolved and not s.external]
+    external = [s for s in flow.sites if s.external]
+    return {
+        "indirect_sites": len(flow.sites),
+        "resolved_internal": len(internal),
+        "resolved_external": len(external),
+        "unresolved": len(flow.unresolved_sites()),
+        "address_taken": len(flow.address_taken),
+        "store_hazards": len(flow.hazards),
+        "blocks_analyzed": flow.blocks_analyzed,
+        "solver_visits": flow.solver_visits,
+    }
+
+
+def _verify_attribution(profile: GuestProfile) -> dict:
+    """Refined prove-mode WIPE under the verifier, restores attributed.
+
+    Every address the verifier heals is matched against the
+    classification: a restore inside a PROVABLY_DEAD block would mean
+    the dataflow proof was wrong (the acceptance bar is zero).
+    """
+    from ..core import BlockMode, DynaCut, TrapPolicy
+    from ..core.verifier import read_verifier_log
+
+    dynacut = DynaCut(profile.kernel)
+    report = dynacut.disable_feature(
+        profile.root.pid, profile.feature,  # type: ignore[arg-type]
+        policy=TrapPolicy.VERIFY, mode=BlockMode.WIPE,
+        refine=True, prove=True,
+        dispatcher_symbol=DISPATCHERS[profile.name],
+    )
+    proc = dynacut.restored_process(profile.root.pid)
+    responses = profile.exercise() if profile.exercise else None
+    log = read_verifier_log(profile.kernel, proc)
+    refinement = report.refinement
+    assert refinement is not None
+    trapped = set(log.trapped_addresses)
+    dead = {b.offset for b in refinement.provably_dead}
+    trap_entries = {b.offset for b in refinement.trap_required}
+    return {
+        "trap_restores": len(trapped),
+        "provably_dead_restores": len(trapped & dead),
+        "trap_entry_restores": len(trapped & trap_entries),
+        "responses": responses,
+    }
+
+
+def analyze_guest(name: str) -> dict:
+    """Legacy-vs-prove refinement comparison for one guest."""
+    from ..analysis.reachability import refine_removal_set
+
+    profiler = _PROFILERS.get(name)
+    if profiler is None:
+        known = ", ".join(sorted(_PROFILERS))
+        raise SystemExit(f"unknown guest {name!r} (known: {known})")
+    profile = profiler()
+    binary = profile.kernel.binaries[profile.binary]
+    entries = _dispatcher_entries(profile)
+    legacy = refine_removal_set(binary, profile.blocks, entries)
+    prove = refine_removal_set(binary, profile.blocks, entries, prove=True)
+    upgraded = legacy.counts["suspect"] - prove.counts["suspect"]
+    row = {
+        "guest": name,
+        "kind": profile.kind,
+        "removal_set": len(profile.blocks),
+        "legacy": dict(sorted(legacy.counts.items())),
+        "prove": dict(sorted(prove.counts.items())),
+        "mode": prove.mode,
+        "fallback_reason": prove.fallback_reason,
+        "suspects_upgraded": upgraded,
+        "wipe_safe": len(prove.wipe_safe),
+        "flow": _flow_summary(binary),
+    }
+    if profile.kind == "server-feature" and name in VERIFY_GUESTS:
+        row["verify"] = _verify_attribution(profile)
+    return row
+
+
+def collect_refinement(guests: tuple[str, ...] | None = None) -> dict:
+    """The full refinement study payload (``dynaflow_refinement.json``)."""
+    if not guests:
+        guests = SERVER_GUESTS + SPEC_GUESTS
+    rows = [analyze_guest(name) for name in guests]
+    legacy_suspects = sum(r["legacy"]["suspect"] for r in rows)
+    prove_suspects = sum(r["prove"]["suspect"] for r in rows)
+    upgraded = legacy_suspects - prove_suspects
+    shrinkage = (
+        round(100.0 * upgraded / legacy_suspects, 1)
+        if legacy_suspects else 0.0
+    )
+    dead_restores = sum(
+        r["verify"]["provably_dead_restores"] for r in rows if "verify" in r
+    )
+    return {
+        "guests": rows,
+        "totals": {
+            "legacy_suspects": legacy_suspects,
+            "prove_suspects": prove_suspects,
+            "suspects_upgraded": upgraded,
+            "suspect_shrinkage_pct": shrinkage,
+            "provably_dead_restores": dead_restores,
+        },
+    }
+
+
+def run_analyze(
+    out: pathlib.Path | None,
+    as_json: bool = False,
+    guests: tuple[str, ...] | None = None,
+) -> int:
+    payload = collect_refinement(guests)
+    if out is not None:
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    if as_json:
+        _emit_json(payload)
+    else:
+        for row in payload["guests"]:
+            verify = row.get("verify")
+            tail = (
+                f"  restores={verify['trap_restores']} "
+                f"(dead={verify['provably_dead_restores']})"
+                if verify else ""
+            )
+            print(
+                f"{row['guest']:>16}  removal={row['removal_set']:>3}  "
+                f"suspects {row['legacy']['suspect']:>3} -> "
+                f"{row['prove']['suspect']:>3}  mode={row['mode']}{tail}"
+            )
+        totals = payload["totals"]
+        print(
+            f"total suspects {totals['legacy_suspects']} -> "
+            f"{totals['prove_suspects']} "
+            f"({totals['suspect_shrinkage_pct']}% upgraded), "
+            f"{totals['provably_dead_restores']} provably-dead restores"
+        )
+        if out is not None:
+            print(f"wrote {out}")
+    clean = all(r["mode"] == "prove" for r in payload["guests"])
+    return 0 if clean and payload["totals"]["provably_dead_restores"] == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,18 +480,34 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="quickstart rewrite + lint")
     demo.add_argument("--export", type=pathlib.Path, default=None,
                       help="write the rewritten image files here")
+    demo.add_argument("--json", action="store_true",
+                      help="emit the lint report as deterministic JSON")
     lint = sub.add_parser("lint", help="lint exported image files")
     lint.add_argument("directory", type=pathlib.Path)
     lint.add_argument("--app", default="redis",
                       help="application whose binaries the image uses")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the lint report as deterministic JSON")
+    analyze = sub.add_parser(
+        "analyze", help="DynaFlow refinement study over the guests"
+    )
+    analyze.add_argument("--out", type=pathlib.Path, default=None,
+                         help="also write the JSON payload here")
+    analyze.add_argument("--json", action="store_true",
+                         help="print the payload as JSON")
+    analyze.add_argument("--guest", action="append", default=None,
+                         help="restrict to this guest (repeatable)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "demo":
-        return run_demo(args.export)
-    return run_lint(args.directory, args.app)
+        return run_demo(args.export, args.json)
+    if args.command == "analyze":
+        guests = tuple(args.guest) if args.guest else None
+        return run_analyze(args.out, args.json, guests)
+    return run_lint(args.directory, args.app, args.json)
 
 
 if __name__ == "__main__":

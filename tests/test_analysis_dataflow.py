@@ -1,0 +1,305 @@
+"""Property tests for the DynaFlow worklist solver and its lattice.
+
+The solver is trusted by the liveness and value-set proofs, so the
+properties the proofs lean on are pinned here directly:
+
+* termination and the fixpoint equations on arbitrary generated graphs,
+  forward and backward;
+* :class:`ValueSet` join is commutative, idempotent, and associative
+  up to precision (widening thresholds make exact associativity too
+  strong — the join may widen at different points depending on order,
+  but never below either operand);
+* a transfer function that loses information raises
+  :class:`MonotonicityError` instead of oscillating;
+* once widening lifts a block's output above ``transfer(input)``, a
+  later exact recomputation below the widened value must *not* trip
+  the monotonicity guard (regression: interval widening in the VSA
+  produced exactly this shape on 625.x264_s).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    Direction,
+    FixpointError,
+    MonotonicityError,
+    ValueSet,
+    solve,
+)
+
+# ----------------------------------------------------------------------
+# graph + problem generators
+
+
+@st.composite
+def graphs(draw):
+    """A small block graph: ids, edge map, and entry blocks."""
+    n = draw(st.integers(2, 10))
+    blocks = list(range(n))
+    edges = {}
+    for src in blocks:
+        succs = draw(
+            st.lists(st.integers(0, n - 1), max_size=3, unique=True)
+        )
+        edges[src] = tuple(succs)
+    entries = draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=2, unique=True)
+    )
+    return blocks, edges, entries
+
+
+def gen_kill_problem(blocks, direction=Direction.FORWARD):
+    """A classic gen/kill bit-set problem: block b generates {b}."""
+    return DataflowProblem(
+        direction=direction,
+        boundary=frozenset({-1}),
+        join=lambda a, b: a | b,
+        transfer=lambda block, state: state | {block},
+        equals=lambda a, b: a == b,
+    )
+
+
+class TestSolverProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_forward_fixpoint(self, graph):
+        blocks, edges, entries = graph
+        problem = gen_kill_problem(blocks)
+        solution = solve(blocks, edges, entries, problem)
+
+        known = set(blocks)
+        for block in blocks:
+            out = solution.output_of(block)
+            inp = solution.input_of(block)
+            if out is None:
+                assert inp is None      # unreached blocks carry no state
+                continue
+            # fixpoint equation 1: out = transfer(in)
+            assert out == problem.transfer(block, inp)
+            # fixpoint equation 2: in = join of pred outs (+ boundary)
+            expect = frozenset()
+            for pred in blocks:
+                if block in edges.get(pred, ()) and (
+                    solution.output_of(pred) is not None
+                ):
+                    expect |= solution.output_of(pred)
+            if block in entries:
+                expect |= problem.boundary
+            assert inp == expect
+            # every propagated edge was consumed
+            for succ in edges.get(block, ()):
+                if succ in known:
+                    assert solution.input_of(succ) is not None
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_backward_fixpoint(self, graph):
+        blocks, edges, entries = graph
+        problem = gen_kill_problem(blocks, Direction.BACKWARD)
+        solution = solve(blocks, edges, entries, problem)
+        for block in blocks:
+            out = solution.output_of(block)
+            inp = solution.input_of(block)
+            if out is None:
+                continue
+            assert out == problem.transfer(block, inp)
+            # backward: input is the join over *successor* outputs
+            expect = frozenset()
+            for succ in edges.get(block, ()):
+                succ_out = solution.output_of(succ)
+                if succ in set(blocks) and succ_out is not None:
+                    expect |= succ_out
+            if block in entries:
+                expect |= problem.boundary
+            assert inp == expect
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs())
+    def test_visits_bounded_by_lattice_height(self, graph):
+        blocks, edges, entries = graph
+        solution = solve(blocks, edges, entries, gen_kill_problem(blocks))
+        # each block's output can grow at most |blocks|+1 times, and a
+        # block only requeues when a predecessor output grows
+        assert solution.visits <= len(blocks) * (len(blocks) + 2)
+
+    def test_monotonicity_violation_raises(self):
+        # the transfer *shrinks* after the first visit: a lossy client
+        seen = set()
+
+        def transfer(block, state):
+            if block in seen:
+                return frozenset()
+            seen.add(block)
+            return state | {block}
+
+        problem = DataflowProblem(
+            direction=Direction.FORWARD,
+            boundary=frozenset({-1}),
+            join=lambda a, b: a | b,
+            transfer=transfer,
+            equals=lambda a, b: a == b,
+        )
+        with pytest.raises(MonotonicityError):
+            solve([0, 1], {0: (1,), 1: (0,)}, [0], problem)
+
+    def test_fixpoint_bound_raises_without_widening(self):
+        # an infinite-height lattice (growing int sets) with no widen
+        # hook must hit the visit budget, not loop forever
+        problem = DataflowProblem(
+            direction=Direction.FORWARD,
+            boundary=frozenset({0}),
+            join=lambda a, b: a | b,
+            transfer=lambda block, state: state | {max(state) + 1},
+            equals=lambda a, b: a == b,
+            max_visits=16,
+        )
+        with pytest.raises(FixpointError):
+            solve([0], {0: (0,)}, [0], problem)
+
+    def test_widened_output_may_exceed_exact_transfer(self):
+        # Regression for the widening/monotonicity interaction: widening
+        # lifts block 0's output to TOP ({-1}); the next exact transfer
+        # of TOP input produces {0}, strictly *below* the stored output.
+        # That is not a client bug — the guard must stay quiet and the
+        # solver must converge on the widened value.
+        TOP = frozenset({-1})
+
+        def join(a, b):
+            return TOP if (a == TOP or b == TOP) else a | b
+
+        def transfer(block, state):
+            if state == TOP:
+                return frozenset({0})
+            return state | {max(state) + 1}
+
+        problem = DataflowProblem(
+            direction=Direction.FORWARD,
+            boundary=frozenset({0}),
+            join=join,
+            transfer=transfer,
+            equals=lambda a, b: a == b,
+            widen=lambda old, new: TOP,
+            widen_after=2,
+            max_visits=64,
+        )
+        solution = solve([0], {0: (0,)}, [0], problem)
+        assert solution.output_of(0) == TOP
+
+
+# ----------------------------------------------------------------------
+# ValueSet lattice laws
+
+
+def value_sets():
+    consts = st.frozensets(st.integers(0, 1 << 32), min_size=1, max_size=4)
+    return st.one_of(
+        st.just(ValueSet.bottom()),
+        st.just(ValueSet.top()),
+        st.just(ValueSet.unknown_int()),
+        st.builds(
+            ValueSet.const_set, consts, code=st.booleans()
+        ),
+        st.builds(
+            ValueSet.interval,
+            st.integers(0, 1 << 20),
+            st.integers(0, 1 << 20),
+            code=st.booleans(),
+        ),
+        st.builds(ValueSet.stack_offset, st.integers(-256, 256)),
+    )
+
+
+def contains(vs: ValueSet, value: int) -> bool:
+    """Is the concrete global ``value`` described by ``vs``?"""
+    if vs.global_top:
+        return True
+    if vs.consts is not None:
+        return value in vs.consts
+    if vs.lo is not None and vs.hi is not None:
+        return vs.lo <= value <= vs.hi
+    return False
+
+
+class TestValueSetLattice:
+    @settings(max_examples=200, deadline=None)
+    @given(value_sets(), value_sets())
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(value_sets())
+    def test_join_idempotent(self, a):
+        assert a.join(a) == a
+
+    @settings(max_examples=200, deadline=None)
+    @given(value_sets(), value_sets())
+    def test_join_is_upper_bound(self, a, b):
+        # soundness form of associativity/ordering: the join describes
+        # every concrete value either operand describes
+        joined = a.join(b)
+        for operand in (a, b):
+            if operand.consts is not None:
+                assert all(contains(joined, v) for v in operand.consts)
+            if operand.global_top and not (a.is_bottom or b.is_bottom):
+                assert joined.global_top
+            if operand.stack is not None:
+                assert joined.stack_top or (
+                    joined.stack is not None
+                    and operand.stack <= joined.stack
+                )
+
+    @settings(max_examples=200, deadline=None)
+    @given(value_sets(), value_sets(), value_sets())
+    def test_join_associative_up_to_precision(self, a, b, c):
+        # widening thresholds may fire at different points depending on
+        # association, so demand soundness, not syntactic equality:
+        # both associations describe the same concrete values for every
+        # finite operand
+        left = a.join(b).join(c)
+        right = a.join(b.join(c))
+        for operand in (a, b, c):
+            for value in operand.consts or ():
+                assert contains(left, value)
+                assert contains(right, value)
+        # and neither association invents bottom
+        assert left.is_bottom == right.is_bottom
+
+    @settings(max_examples=200, deadline=None)
+    @given(value_sets(), value_sets())
+    def test_widen_dominates_join(self, a, b):
+        # widen(a, b) must sit at or above join(a, b): everything the
+        # join describes the widened value describes too
+        joined = a.join(b)
+        widened = a.widen(b)
+        for value in joined.consts or ():
+            assert contains(widened, value)
+        if joined.global_top:
+            assert widened.global_top
+        if joined.has_global:
+            assert widened.has_global or widened.global_top
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.frozensets(st.integers(0, 1 << 16), min_size=1, max_size=4),
+        st.integers(-(1 << 12), 1 << 12),
+    )
+    def test_shifted_is_exact_on_finite_sets(self, values, delta):
+        vs = ValueSet.const_set(values)
+        shifted = vs.shifted(delta)
+        mask = (1 << 64) - 1
+        assert shifted.consts == frozenset((v + delta) & mask for v in values)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value_sets(), value_sets())
+    def test_add_preserves_code_taint_of_finite_operands(self, a, b):
+        # taint may only be absorbed by an *untainted* TOP (documented
+        # lattice rule); any finite tainted operand keeps the result hot
+        result = a.add(b)
+        if (
+            a.code and a.is_finite and b.is_finite
+        ):
+            assert result.code

@@ -1,0 +1,169 @@
+"""DL50x self-modifying-store lint: rule semantics and seeded guests.
+
+The signal/noise line documented in :mod:`repro.analysis.dataflow.hazards`
+is pinned here: finite store targets over executable bytes are definite
+(DL501, plus DL503 when they rewrite a live decoded block), unbounded
+*code-derived* targets are possible (DL502, warning severity), and plain
+unknown pointers — every allocator or peer pointer a server handles —
+are never flagged.  A definite hazard also poisons the DynaFlow prover:
+``refine_removal_set(prove=True)`` must fall back to the legacy verdicts
+because the text its proof reasons over may change at run time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import (
+    HAZARD_RULES,
+    ValueSet,
+    analyze_image_flow,
+    classify_store,
+)
+from repro.analysis.lint import LintDiagnostic, LintReport
+from repro.analysis.reachability import refine_removal_set
+from repro.apps import libc_image, redis_image
+from repro.tracing import BlockRecord
+
+from .helpers import build_asm, build_minic
+
+EXEC = [(0x1000, 0x2000)]
+BLOCKS = [(0x1000, 0x1040)]
+
+
+class TestClassifyStore:
+    def test_finite_target_in_text_is_definite(self):
+        hazards = classify_store(
+            0x500, "st64", ValueSet.const(0x1010), EXEC, []
+        )
+        assert [h.rule for h in hazards] == ["definite"]
+        assert hazards[0].code == "DL501"
+        assert hazards[0].severity == "error"
+        assert hazards[0].target_lo == 0x1010
+        assert hazards[0].target_hi == 0x1018    # st64 covers 8 bytes
+
+    def test_definite_store_into_live_block_adds_coherence(self):
+        hazards = classify_store(
+            0x500, "st8", ValueSet.const(0x1010), EXEC, BLOCKS
+        )
+        assert [h.rule for h in hazards] == ["definite", "coherence"]
+        assert hazards[1].code == "DL503"
+        assert "stale" in hazards[1].detail
+
+    def test_definite_store_outside_blocks_has_no_coherence(self):
+        hazards = classify_store(
+            0x500, "st8", ValueSet.const(0x1800), EXEC, BLOCKS
+        )
+        assert [h.rule for h in hazards] == ["definite"]
+
+    def test_unbounded_code_tainted_target_is_possible_warning(self):
+        target = ValueSet(global_top=True, code=True)
+        hazards = classify_store(0x500, "st64", target, EXEC, BLOCKS)
+        assert [h.rule for h in hazards] == ["possible"]
+        assert hazards[0].code == "DL502"
+        assert hazards[0].severity == "warning"
+
+    def test_plain_unknown_pointer_is_clean(self):
+        # the taint rule: untainted TOP is every heap/peer pointer a
+        # guest ever handles — flagging it would make the lint useless
+        hazards = classify_store(0x500, "st64", ValueSet.top(), EXEC, BLOCKS)
+        assert hazards == []
+
+    def test_store_below_text_is_clean(self):
+        hazards = classify_store(
+            0x500, "st64", ValueSet.const(0x900), EXEC, BLOCKS
+        )
+        assert hazards == []
+
+    def test_pic_requires_taint(self):
+        # in a PIC image an absolute constant cannot alias the (base-
+        # relative) text ranges; only code-derived addresses count
+        untainted = ValueSet.const(0x1010)
+        tainted = ValueSet.const(0x1010, code=True)
+        assert classify_store(
+            0x500, "st64", untainted, EXEC, [], require_taint=True
+        ) == []
+        assert classify_store(
+            0x500, "st64", tainted, EXEC, [], require_taint=True
+        ) != []
+
+    def test_rule_table_is_consistent(self):
+        assert set(HAZARD_RULES) == {"definite", "possible", "coherence"}
+        assert HAZARD_RULES["possible"][1] == "warning"
+        assert HAZARD_RULES["definite"][1] == "error"
+        assert HAZARD_RULES["coherence"][1] == "error"
+
+
+SELF_MODIFYING = """
+.section text
+.global _start
+.global patchee
+_start:
+    lea r1, patchee
+    movi r2, 7
+    st8 [r1], r2
+    call patchee
+    hlt
+patchee:
+    movi r0, 1
+    ret
+"""
+
+
+class TestSeededGuests:
+    def test_self_modifying_guest_flags_definite_and_coherence(self):
+        image = build_asm(SELF_MODIFYING, "smc_guest")
+        report = analyze_image_flow(image)
+        codes = [h.code for h in report.hazards]
+        assert "DL501" in codes
+        assert "DL503" in codes        # patchee is a live decoded block
+        assert report.definite_hazards
+
+    def test_definite_hazard_forces_prove_fallback(self):
+        image = build_asm(SELF_MODIFYING, "smc_fallback")
+        records = [BlockRecord(
+            image.name, image.symbol_address("patchee"), 4
+        )]
+        result = refine_removal_set(image, records, prove=True)
+        assert result.mode == "prove-fallback"
+        assert result.fallback_reason is not None
+        # hazards sort coherence-before-definite at one address, so the
+        # cited code is whichever DL50x error came first
+        assert "DL50" in result.fallback_reason
+        assert "self-modifying" in result.fallback_reason
+        # fallback still classifies — it just uses the legacy rules
+        assert result.counts["provably_dead"] + result.counts[
+            "trap_required"
+        ] + result.counts["suspect"] == len(records)
+
+    def test_existing_guests_are_clean(self):
+        for image in (redis_image(), libc_image()):
+            report = analyze_image_flow(image)
+            assert report.hazards == [], image.name
+
+    def test_plain_minic_guest_is_clean(self):
+        image = build_minic(
+            """
+            var slab[16];
+            func main() {
+                store64(slab, 42);
+                return load64(slab) - 42;
+            }
+            """,
+            "clean_minic", with_libc=False,
+        )
+        report = analyze_image_flow(image)
+        assert report.hazards == []
+
+
+class TestSeverityContract:
+    def test_warning_only_report_stays_ok(self):
+        report = LintReport(diagnostics=[
+            LintDiagnostic("DL502", 1, 0x1000, "maybe", severity="warning")
+        ])
+        assert report.ok
+        assert report.warnings and not report.errors
+
+    def test_error_report_fails(self):
+        report = LintReport(diagnostics=[
+            LintDiagnostic("DL501", 1, 0x1000, "definite")
+        ])
+        assert not report.ok

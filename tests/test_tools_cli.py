@@ -142,6 +142,66 @@ class TestDynalintCli:
         assert "DL" in out
 
 
+class TestDynalintJson:
+    def test_demo_json_is_deterministic_and_parseable(self, capsys):
+        from repro.tools import dynalint_cli
+
+        code = dynalint_cli.main(["demo", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["feature_blocks"] > 0
+        assert payload["blocked_response"].startswith("-ERR")
+        # stable key order: re-serializing sorted must reproduce stdout
+        assert out.strip() == json.dumps(payload, indent=2, sort_keys=True)
+
+    def test_lint_json_roundtrip(self, tmp_path, capsys):
+        from repro.tools import dynalint_cli
+
+        export = tmp_path / "img"
+        assert dynalint_cli.main(["demo", "--export", str(export)]) == 0
+        capsys.readouterr()
+        code = dynalint_cli.main(
+            ["lint", str(export), "--app", "redis", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_analyze_single_guest_writes_report(self, tmp_path, capsys):
+        from repro.tools import dynalint_cli
+
+        out_path = tmp_path / "refine.json"
+        code = dynalint_cli.main([
+            "analyze", "--guest", "605.mcf_s",
+            "--out", str(out_path), "--json",
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        # stdout and --out carry the identical deterministic payload
+        assert json.loads(stdout) == payload
+        (row,) = payload["guests"]
+        assert row["guest"] == "605.mcf_s"
+        assert row["kind"] == "spec-init"
+        assert row["mode"] == "prove"
+        assert row["flow"]["resolved_external"] > 0
+        assert payload["totals"]["provably_dead_restores"] == 0
+
+    def test_analyze_table_output(self, capsys):
+        from repro.tools import dynalint_cli
+
+        code = dynalint_cli.main(["analyze", "--guest", "605.mcf_s"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "605.mcf_s" in out
+        assert "mode=prove" in out
+        assert "total suspects" in out
+
+
 class TestFleetCli:
     def test_rollout_writes_clean_report(self, tmp_path, capsys):
         from repro.tools import fleet_cli
