@@ -1,0 +1,116 @@
+"""DynaMesh scale-out: throughput vs shard count on a keyed workload.
+
+The mesh's clock model makes shards genuinely parallel machines — a
+request served on one host advances only that host's virtual clock,
+and mesh wall time is the max over hosts.  This benchmark pins the
+consequence: a fixed keyed GET workload completes in roughly ``1/N``
+the mesh wall time on ``N`` shards, because the hash frontend splits
+the keyspace across hosts and each host only accrues its own shard's
+service time.
+
+Perfect linearity is *not* asserted (the ring's arcs are not exactly
+even, and the busiest shard sets the wall clock); the qualitative
+shape is: each doubling must help, and four shards must at least
+double one.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.fleet import FleetPolicy
+from repro.mesh import MeshController
+from repro.workloads import SECOND_NS
+
+from conftest import print_table
+
+SHARD_COUNTS = (1, 2, 4)
+SIZE_PER_SHARD = 1
+KEYSPACE = 64
+REQUESTS = 240
+
+
+def _throughput(shards: int) -> dict:
+    policy = FleetPolicy(
+        features=("SET",), shards=shards, ring_replicas=32
+    )
+    mesh = MeshController("redis", policy, size_per_shard=SIZE_PER_SHARD)
+    mesh.spawn_mesh()
+    keys = [f"key-{index}" for index in range(KEYSPACE)]
+    for key in keys:
+        assert mesh.store(key, "v")
+    # align every host on one serving epoch, then measure mesh wall time
+    mesh.clock.clock_ns = mesh.clock.clock_ns
+    start = mesh.clock.clock_ns
+    host_starts = {host.name: host.kernel.clock_ns for host in mesh.hosts}
+    for index in range(REQUESTS):
+        assert mesh.wanted_request(key=keys[index % KEYSPACE])
+    elapsed = mesh.clock.clock_ns - start
+    stats = mesh.frontend.stats()
+    assert stats["accounted"] and stats["shed"] == 0
+    assert sum(stats["dispatched"].values()) >= REQUESTS
+    return {
+        "shards": shards,
+        "requests": REQUESTS,
+        "elapsed_ns": elapsed,
+        "throughput_rps": REQUESTS * SECOND_NS / elapsed,
+        "per_host_busy_ns": {
+            host.name: host.kernel.clock_ns - host_starts[host.name]
+            for host in mesh.hosts
+        },
+        "dispatched": stats["dispatched"],
+    }
+
+
+def test_mesh_scaleout(results_dir):
+    rows = [_throughput(shards) for shards in SHARD_COUNTS]
+    by_shards = {row["shards"]: row for row in rows}
+    speedup = {
+        shards: by_shards[shards]["throughput_rps"] / by_shards[1]["throughput_rps"]
+        for shards in SHARD_COUNTS
+    }
+
+    print_table(
+        "DynaMesh scale-out (keyed GET, hash frontend)",
+        ["shards", "requests", "elapsed (virt ms)", "throughput (req/s)",
+         "speedup vs 1"],
+        [
+            [
+                row["shards"],
+                row["requests"],
+                f"{row['elapsed_ns'] / 1e6:.2f}",
+                f"{row['throughput_rps']:.0f}",
+                f"{speedup[row['shards']]:.2f}x",
+            ]
+            for row in rows
+        ],
+    )
+
+    # every shard actually served a slice of the keyspace
+    for row in rows:
+        assert all(count > 0 for count in row["dispatched"].values()), row
+
+    # qualitative scale-out shape: each doubling helps, 4 shards at
+    # least doubles one (ring imbalance forbids asserting exactly Nx)
+    assert speedup[2] >= 1.3, f"2 shards gained only {speedup[2]:.2f}x"
+    assert speedup[4] / speedup[2] >= 1.2, (
+        f"4 shards over 2 gained only {speedup[4] / speedup[2]:.2f}x"
+    )
+    assert speedup[4] >= 2.0, f"4 shards gained only {speedup[4]:.2f}x"
+
+    (results_dir / "mesh_scaleout.json").write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "requests": REQUESTS,
+                    "keyspace": KEYSPACE,
+                    "size_per_shard": SIZE_PER_SHARD,
+                    "routing": "hash",
+                },
+                "points": rows,
+                "speedup": {str(k): v for k, v in speedup.items()},
+            },
+            indent=2,
+        )
+        + "\n"
+    )

@@ -20,6 +20,7 @@ from .plan import (
     ALL_SITES,
     KINDS,
     KNOWN_FLEET_SITES,
+    KNOWN_MESH_SITES,
     KNOWN_SITES,
     FaultError,
     FaultPlan,
@@ -90,6 +91,7 @@ __all__ = [
     "InjectionRecord",
     "KINDS",
     "KNOWN_FLEET_SITES",
+    "KNOWN_MESH_SITES",
     "KNOWN_SITES",
     "PermanentFault",
     "TransientFault",

@@ -52,8 +52,18 @@ KNOWN_FLEET_SITES = frozenset(
     }
 )
 
+#: mesh-tier sites (see docs/fleet.md#mesh-layer-8).  Visited by the
+#: cross-host control plane: whole-host failure and cross-host dispatch
+#: are chaos-testable without touching the single-kernel matrix above
+KNOWN_MESH_SITES = frozenset(
+    {
+        "mesh.host_crash",        # every instance on one kernel dies at once
+        "mesh.host_unreachable",  # one cross-host dispatch hop is dropped
+    }
+)
+
 #: everything arm() accepts
-ALL_SITES = KNOWN_SITES | KNOWN_FLEET_SITES
+ALL_SITES = KNOWN_SITES | KNOWN_FLEET_SITES | KNOWN_MESH_SITES
 
 KINDS = ("transient", "permanent")
 

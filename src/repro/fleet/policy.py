@@ -72,6 +72,16 @@ class FleetPolicy:
     trap_storm_window_ns: int = 5 * SECOND_NS
     #: ...needed to demote the trapping instance (re-enable locally)
     trap_storm_threshold: int = 4
+    #: mesh: number of hosts (kernels) the fleet is sharded over; 1 is
+    #: the classic single-kernel fleet
+    shards: int = 1
+    #: mesh: virtual nodes per shard on the consistent-hash ring (more
+    #: replicas = smoother keyspace balance, smaller remapped arcs)
+    ring_replicas: int = 8
+    #: mesh: extra hosts one frontend dispatch may try after landing on
+    #: a down host (0 = shed immediately; the cross-host analogue of
+    #: ``failover_budget``)
+    host_failover_budget: int = 1
 
     def __post_init__(self) -> None:
         if isinstance(self.features, str):
@@ -121,6 +131,18 @@ class FleetPolicy:
             raise PolicyError("trap_storm_window_ns must be positive")
         if self.trap_storm_threshold < 1:
             raise PolicyError("trap_storm_threshold must be >= 1")
+        if self.shards < 1:
+            raise PolicyError(
+                f"shards must be >= 1 (a mesh needs at least one host; "
+                f"got {self.shards})"
+            )
+        if self.ring_replicas < 1:
+            raise PolicyError(
+                f"ring_replicas must be >= 1 (each shard needs at least "
+                f"one point on the hash ring; got {self.ring_replicas})"
+            )
+        if self.host_failover_budget < 0:
+            raise PolicyError("host_failover_budget must be >= 0")
 
     # ------------------------------------------------------------------
     # enum bridges into the single-process engine

@@ -171,6 +171,20 @@ class RolloutExecutor:
             pass
         return self.report
 
+    def abort(self, reason: str) -> None:
+        """Halt this rollout from outside the state machine.
+
+        DynaMesh uses this to bound blast radius: a whole-host crash
+        aborts the *affected shard's* rollout (dead instances are
+        skipped by the rollback pass, recovered later by its
+        supervisor) while the other shards keep rolling.  Idempotent
+        once the rollout is done.
+        """
+        if not self.done:
+            if self.report.state == "pending":
+                self.report.started_ns = self.controller.kernel.clock_ns
+            self._abort(reason)
+
     # ------------------------------------------------------------------
     # internals
 

@@ -18,20 +18,20 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from .. import telemetry
+from .balancer import MemberPool, NetworkError, NoBackendAvailable
 from .process import Descriptor
 
-
-class NetworkError(Exception):
-    """Host-level misuse of the network API."""
-
-
-class NoBackendAvailable(NetworkError):
-    """Every backend behind a frontend is drained, down, or dead.
-
-    Distinct from a generic :class:`NetworkError` so balanced clients
-    (and the workload driver) can tell "the whole pool is gone" apart
-    from a single refused port.
-    """
+__all__ = [
+    "BackendPool",
+    "Connection",
+    "Endpoint",
+    "ListeningSocket",
+    "MemberPool",
+    "NetworkError",
+    "NetworkStack",
+    "NoBackendAvailable",
+    "SocketDescriptor",
+]
 
 
 @dataclass
@@ -115,8 +115,7 @@ class SocketDescriptor(Descriptor):
         self.bound_port: int | None = None
 
 
-@dataclass
-class BackendPool:
+class BackendPool(MemberPool):
     """Round-robin balancing across backend ports behind one frontend.
 
     The pool is the substrate DynaFleet's load balancer is built on: a
@@ -127,76 +126,48 @@ class BackendPool:
     whose listener is currently gone (e.g. a process tree mid-
     checkpoint) are skipped automatically, so one frozen instance never
     turns into connection errors for balanced clients.
+
+    The state machine itself lives in :class:`MemberPool` (DynaMesh
+    reuses it one level up, over hosts); this subclass adds the
+    port-specific validation and the per-port telemetry.
     """
 
-    frontend_port: int
-    backends: list[int] = field(default_factory=list)
-    drained: set[int] = field(default_factory=set)
-    #: backends the balancer has marked unhealthy (crashed listener
-    #: discovered at dispatch, or the supervisor taking one DOWN)
-    down: set[int] = field(default_factory=set)
-    #: how many extra backends one connect may try after landing on a
-    #: dead one (0 = fail immediately, the pre-failover behaviour)
-    failover_budget: int = 1
-    #: connections dispatched per backend port (observability)
-    dispatched: dict[int, int] = field(default_factory=dict)
-    #: connections re-routed away from each dead backend (observability)
-    failovers: dict[int, int] = field(default_factory=dict)
-    _rr: int = 0
+    def __init__(
+        self,
+        frontend_port: int,
+        backends: list[int] | None = None,
+        failover_budget: int = 1,
+    ):
+        self.frontend_port = frontend_port
+        super().__init__(
+            label=f"frontend {frontend_port}",
+            backends=backends,
+            failover_budget=failover_budget,
+        )
 
     def add(self, port: int) -> None:
         if port == self.frontend_port:
             raise NetworkError("a backend cannot be its own frontend")
-        if port not in self.backends:
-            self.backends.append(port)
-            self.dispatched.setdefault(port, 0)
+        super().add(port)
 
-    def remove(self, port: int) -> None:
-        if port in self.backends:
-            self.backends.remove(port)
-        self.drained.discard(port)
-        self.down.discard(port)
-
-    def drain(self, port: int) -> None:
-        if port not in self.backends:
-            raise NetworkError(f"port {port} is not a backend of this pool")
-        self.drained.add(port)
-
-    def rejoin(self, port: int) -> None:
-        if port not in self.backends:
-            raise NetworkError(f"port {port} is not a backend of this pool")
-        self.drained.discard(port)
-        self.down.discard(port)
-
-    def mark_down(self, port: int) -> None:
-        if port not in self.backends:
-            raise NetworkError(f"port {port} is not a backend of this pool")
-        self.down.add(port)
-
-    def mark_up(self, port: int) -> None:
-        if port not in self.backends:
-            raise NetworkError(f"port {port} is not a backend of this pool")
-        self.down.discard(port)
+    def note_dispatch(self, port: int) -> None:
+        super().note_dispatch(port)
+        telemetry.count("dispatch_total", port=port)
+        telemetry.emit(
+            "dispatch", "balanced",
+            labels={"port": port}, frontend=self.frontend_port,
+        )
 
     def record_failover(self, port: int) -> None:
-        self.failovers[port] = self.failovers.get(port, 0) + 1
+        self.note_failover(port)
+
+    def note_failover(self, port: int) -> None:
+        super().note_failover(port)
         telemetry.count("failover_total", port=port)
         telemetry.emit(
             "failover", "routed-around",
             labels={"port": port}, frontend=self.frontend_port,
         )
-
-    @property
-    def total_failovers(self) -> int:
-        return sum(self.failovers.values())
-
-    def in_service(self) -> list[int]:
-        """Backends currently eligible for new connections."""
-        return [
-            port
-            for port in self.backends
-            if port not in self.drained and port not in self.down
-        ]
 
 
 class NetworkStack:
@@ -289,17 +260,11 @@ class NetworkStack:
         stale until a dispatch actually bounces — that discovery and the
         failover retry happen in :meth:`_route`.
         """
-        candidates = pool.in_service()
-        if candidates:
-            for step in range(len(candidates)):
-                port = candidates[(pool._rr + step) % len(candidates)]
-                if self._backend_listener(port) is not None:
-                    pool._rr = (pool._rr + step + 1) % len(candidates)
-                    return port
-        raise NoBackendAvailable(
-            f"connection refused: no backend in service behind frontend "
-            f"{pool.frontend_port}"
-        )
+        return pool.pick(lambda port: self._backend_listener(port) is not None)
+
+    def _healthy_backend(self, port: int) -> bool:
+        listener = self._backend_listener(port)
+        return listener is not None and not listener.orphaned
 
     def _route(self, pool: BackendPool) -> int:
         """Resolve a frontend connect to a live backend, with failover.
@@ -308,22 +273,9 @@ class NetworkStack:
         still in the balancer's view) marks that backend down and retries
         on the next live one, bounded by the pool's failover budget.
         """
-        for _attempt in range(pool.failover_budget + 1):
-            port = self._pick_backend(pool)
-            listener = self._backend_listener(port)
-            if listener is not None and not listener.orphaned:
-                pool.dispatched[port] = pool.dispatched.get(port, 0) + 1
-                telemetry.count("dispatch_total", port=port)
-                telemetry.emit(
-                    "dispatch", "balanced",
-                    labels={"port": port}, frontend=pool.frontend_port,
-                )
-                return port
-            pool.mark_down(port)
-            pool.record_failover(port)
-        raise NoBackendAvailable(
-            f"connection refused: failover budget ({pool.failover_budget}) "
-            f"exhausted behind frontend {pool.frontend_port}"
+        return pool.route(
+            live=lambda port: self._backend_listener(port) is not None,
+            healthy=self._healthy_backend,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,127 @@
+"""Consistent-hash keyspace routing for the mesh frontend.
+
+The kvstore workload is keyed: requests for one key must keep landing
+on the same shard so its data is actually there.  A :class:`HashRing`
+maps keys to shards with the classic stable-arc guarantee: each shard
+owns ``replicas`` points ("virtual nodes") on a 2^64 ring, a key
+belongs to the first shard point at or clockwise-after its own hash,
+and **adding or removing a shard only remaps the arcs adjacent to that
+shard's points** — every other key keeps its assignment.  That is the
+property the mesh's whole-host failure story leans on: when a host
+dies, only its arc fails over (to each arc's ring successor), and the
+hypothesis suite in ``tests/test_mesh_ring.py`` pins it down.
+
+Hashing is :mod:`hashlib`-based, never the interpreter's randomized
+``hash()``: assignments must be identical across processes and runs or
+same-seed campaigns would route differently and break byte-identical
+re-export.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, insort
+from collections.abc import Iterable, Iterator
+
+
+class RingError(ValueError):
+    """Misuse of the hash ring (no shards, bad replica count)."""
+
+
+def stable_hash(value: str) -> int:
+    """A 64-bit hash that is stable across runs and interpreters."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Keys → shards via consistent hashing with virtual nodes."""
+
+    def __init__(self, replicas: int = 8, shards: Iterable[int] = ()):
+        if replicas < 1:
+            raise RingError(f"ring replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        #: sorted (point, shard) pairs; ties break on the lower shard id
+        self._points: list[tuple[int, int]] = []
+        self._shards: set[int] = set()
+        for shard in shards:
+            self.add(shard)
+
+    # ------------------------------------------------------------------
+    # membership
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._shards
+
+    def _shard_points(self, shard: int) -> list[tuple[int, int]]:
+        return [
+            (stable_hash(f"shard-{shard}#{replica}"), shard)
+            for replica in range(self.replicas)
+        ]
+
+    def add(self, shard: int) -> None:
+        """Place ``shard``'s virtual nodes; other arcs are untouched."""
+        if shard in self._shards:
+            return
+        self._shards.add(shard)
+        for point in self._shard_points(shard):
+            insort(self._points, point)
+
+    def remove(self, shard: int) -> None:
+        """Withdraw ``shard``; only keys on its arcs get remapped."""
+        if shard not in self._shards:
+            return
+        self._shards.discard(shard)
+        gone = set(self._shard_points(shard))
+        self._points = [p for p in self._points if p not in gone]
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def successors(self, key: str) -> Iterator[int]:
+        """Distinct shards in ring order starting at ``key``'s arc.
+
+        The first yielded shard is the key's owner; the rest is the
+        deterministic failover order a down-host dispatch walks.
+        """
+        if not self._points:
+            raise RingError("hash ring has no shards")
+        start = bisect_left(self._points, (stable_hash(key), -1))
+        seen: set[int] = set()
+        for index in range(len(self._points)):
+            __, shard = self._points[(start + index) % len(self._points)]
+            if shard not in seen:
+                seen.add(shard)
+                yield shard
+
+    def shard_for(self, key: str, down: Iterable[int] = ()) -> int:
+        """The live shard owning ``key`` (skipping ``down`` hosts)."""
+        unavailable = set(down)
+        for shard in self.successors(key):
+            if shard not in unavailable:
+                return shard
+        raise RingError(f"no live shard for key {key!r}: all {len(self)} down")
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def arc_sizes(self, samples: int = 4096) -> dict[int, int]:
+        """Sampled keyspace share per shard (balance diagnostics)."""
+        owned = {shard: 0 for shard in self._shards}
+        for index in range(samples):
+            owned[self.shard_for(f"arc-sample-{index}")] += 1
+        return owned
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "shards": list(self.shards),
+            "points": len(self._points),
+        }

@@ -1,0 +1,123 @@
+"""Shard-by-shard rollouts with per-shard blast radius.
+
+:class:`MeshRollout` drives one policy rollout across every shard of a
+mesh, one :class:`~repro.fleet.rollout.RolloutExecutor` per shard,
+advanced strictly shard-by-shard: shard *i* must finish (complete or
+abort) before shard *i+1* drains its first batch — the mesh-level
+analogue of the canary gate, bounding how much of the keyspace is
+mid-customization at once.
+
+The per-shard health gates stay exactly the single-kernel ones (probe
+success rate, blocked-feature checks); the mesh adds one gate above
+them: **a shard whose host is not routable aborts — that shard only**.
+A whole-host crash mid-rollout therefore rolls back nothing anywhere
+else; the dead shard's instances are recovered later by its own
+supervisor from their committed images, and the remaining shards keep
+rolling.  ``report()`` makes the blast radius auditable per shard.
+"""
+
+from __future__ import annotations
+
+from .. import telemetry
+from ..fleet.rollout import RolloutExecutor
+from .controller import MeshController
+from .host import MeshError
+
+
+class MeshRollout:
+    """One policy rollout, sequenced across every shard of a mesh."""
+
+    def __init__(self, mesh: MeshController):
+        if mesh.frontend is None:
+            raise MeshError("spawn_mesh() before planning a rollout")
+        self.mesh = mesh
+        self.executors: list[RolloutExecutor] = [
+            RolloutExecutor(host.controller) for host in mesh.hosts
+        ]
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # progress
+
+    @property
+    def done(self) -> bool:
+        return all(executor.done for executor in self.executors)
+
+    @property
+    def current_shard(self) -> str | None:
+        for host, executor in zip(self.mesh.hosts, self.executors):
+            if not executor.done:
+                return host.name
+        return None
+
+    def step(self) -> bool:
+        """Advance the current shard's rollout by one batch.
+
+        Returns True while any shard still has work.  Designed to be
+        called from workload timeline events, like the single-kernel
+        executor's ``step()``.
+        """
+        while self._cursor < len(self.executors) and self.executors[self._cursor].done:
+            self._cursor += 1
+        if self._cursor >= len(self.executors):
+            return False
+        host = self.mesh.hosts[self._cursor]
+        executor = self.executors[self._cursor]
+        self.mesh.clock.sync(host.kernel)
+        with telemetry.label_scope(shard=host.name):
+            if not host.routable():
+                # whole-host failure: bound the blast radius to this
+                # shard — roll back what this executor customized on
+                # still-live trees (dead ones are the supervisor's job)
+                executor.abort(
+                    f"{host.name} is not routable (whole-host failure); "
+                    f"aborting this shard's rollout only"
+                )
+                telemetry.count("mesh_rollout_aborts_total", shard=host.name)
+            else:
+                try:
+                    executor.step()
+                except Exception as exc:  # noqa: BLE001 — abort, don't crash the mesh
+                    executor.abort(f"{host.name}: rollout step failed: {exc!r}")
+                    telemetry.count("mesh_rollout_aborts_total", shard=host.name)
+        return not self.done
+
+    def run(self) -> dict:
+        """Step to completion (no interleaved workload)."""
+        while self.step():
+            pass
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    @property
+    def state(self) -> str:
+        """``completed`` / ``aborted`` / ``partial`` / ``running``."""
+        if not self.done:
+            return "running"
+        states = {executor.report.state for executor in self.executors}
+        if states == {"completed"}:
+            return "completed"
+        if "completed" in states:
+            return "partial"
+        return "aborted"
+
+    def report(self) -> dict:
+        return {
+            "state": self.state,
+            "shards": {
+                host.name: executor.report.to_dict()
+                for host, executor in zip(self.mesh.hosts, self.executors)
+            },
+            "completed_shards": [
+                host.name
+                for host, executor in zip(self.mesh.hosts, self.executors)
+                if executor.report.completed
+            ],
+            "aborted_shards": {
+                host.name: executor.report.aborted_reason
+                for host, executor in zip(self.mesh.hosts, self.executors)
+                if executor.report.aborted
+            },
+        }

@@ -1,0 +1,310 @@
+"""``mesh`` CLI — whole-host chaos against a sharded rollout.
+
+Each seed builds a fresh mesh (``--shards`` kernels, each running its
+own kvstore shard behind the consistent-hash frontend), seeds a
+keyspace while SET still exists, then rolls the SET-removal policy
+shard-by-shard under a closed-loop keyed GET workload — and kills one
+whole host mid-its-own-rollout through the seeded ``mesh.host_crash``
+site.  A campaign seed is **clean** when:
+
+* the frontend accounting identity holds with nothing shed:
+  ``issued == served + failed_over`` and zero driver errors — losing a
+  whole machine cost retries, never requests;
+* the rollout **aborted on the crashed shard only** and completed on
+  every other shard (blast radius = one shard);
+* the mesh settled: the crashed host's supervisor recovered its
+  instances from their committed images and the host rejoined the
+  frontend tier;
+* the injection log matches the armed plan exactly.
+
+Timing is what makes the scenario honest: rollout steps run at
+``x.25`` offsets, supervision heartbeats fire as forced timeline
+events on the 3 s marks, and the crash lands at ``2k+0.5`` — right
+after shard *k*'s canary batch commits, and strictly before any
+heartbeat can recover the host.  The frontend therefore serves from a stale view
+(cross-host failover territory) until the shard's own abort gate sees
+the dead host.
+
+``--check`` runs one quick 2-shard seed (CI);
+``--check-determinism`` runs the whole campaign twice and requires the
+committed report and the full event sidecar to be byte-identical.
+
+Usage::
+
+    python -m repro.tools.mesh_cli [--seeds 3] [--seed-base 700]
+        [--shards 4] [--size 2] [--output FILE]
+        [--check] [--check-determinism]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from random import Random
+
+from ..analysis.dataflow import analyze_image_flow
+from ..faults import FaultPlan
+from ..fleet import FleetPolicy, get_app
+from ..fleet.apps import profile_feature
+from ..kernel import Kernel
+from ..mesh import MeshController, MeshRollout, inject_host_chaos
+from ..telemetry import TelemetryHub, to_jsonl
+from ..workloads import SECOND_NS, TimelineEvent, run_request_timeline
+from .campaign import run_recorded, write_results
+
+#: bounded post-workload settling: mesh ticks until every shard is quiet
+SETTLE_TICKS = 8
+#: keys seeded before the rollout removes the write path
+KEYSPACE = 32
+
+
+def safe_targets(shards: int) -> list[int]:
+    """Shards whose crash window fits between two heartbeats.
+
+    Heartbeats are forced timeline events on offsets ``3m`` (the gated
+    interval check would drift with per-request timing).  Shard *k*
+    rolls at ``2k+0.25`` / ``2k+1.25`` and the crash lands at
+    ``2k+0.5``; the only whole second inside the crash-to-gate window
+    is ``2k+1``, which hosts a heartbeat iff ``2k+1 ≡ 0 (mod 3)`` —
+    i.e. ``k % 3 == 1`` — and would recover the host before the abort
+    gate sees it down.  Every other shard is a valid target.
+    """
+    return [k for k in range(shards) if k % 3 != 1]
+
+
+def run_campaign(args, seed: int, hub: TelemetryHub) -> dict:
+    rng = Random(seed)
+    target = rng.choice(safe_targets(args.shards))
+    policy = FleetPolicy(
+        features=("SET",),
+        strategy="canary",
+        probe_requests=2,
+        heartbeat_interval_ns=3 * SECOND_NS,
+        shards=args.shards,
+        ring_replicas=32,
+        host_failover_budget=2,
+    )
+    mesh = MeshController("redis", policy, size_per_shard=args.size)
+    hub.bind_clock(lambda: mesh.clock.clock_ns)
+    mesh.spawn_mesh()
+    frontend = mesh.frontend
+    assert frontend is not None
+
+    keys = [f"key-{index}" for index in range(KEYSPACE)]
+    for key in keys:
+        mesh.store(key, f"value-of-{key}")
+    seeded = frontend.issued
+
+    rollout = MeshRollout(mesh)
+    duration = 2 * args.shards + 4
+    plan = FaultPlan(seed=seed).arm(
+        "mesh.host_crash", "permanent", on_call=target + 1, times=1
+    )
+    events = [
+        TimelineEvent(
+            at_ns=int((2 * step + 0.25) * SECOND_NS),
+            label=f"rollout-step-{step}",
+            action=rollout.step,
+        )
+        for step in range(args.shards)
+    ] + [
+        TimelineEvent(
+            at_ns=int((2 * step + 1.25) * SECOND_NS),
+            label=f"rollout-step-{step}b",
+            action=rollout.step,
+        )
+        for step in range(args.shards)
+    ] + [
+        # heartbeats are driven *forced* on the 3 s marks: the gated
+        # interval check drifts (every effective heartbeat overshoots
+        # its nominal second by its own probe cost), which would make
+        # "which tick recovers the crashed host" depend on millisecond
+        # request timing instead of the safe_targets arithmetic
+        TimelineEvent(
+            at_ns=second * SECOND_NS, label=f"tick-{second}",
+            action=lambda: mesh.tick(force=True),
+        )
+        for second in range(3, duration, 3)
+    ] + [
+        TimelineEvent(
+            at_ns=int((2 * target + 0.5) * SECOND_NS), label="host-chaos",
+            action=lambda: inject_host_chaos(mesh),
+        )
+    ]
+
+    request_index = 0
+
+    def request_once() -> bool:
+        nonlocal request_index
+        request_index += 1
+        return mesh.wanted_request(key=keys[request_index % len(keys)])
+
+    # baseline heartbeat at workload start: every instance probed once
+    # before traffic, and the serving epoch starts clock-aligned
+    mesh.tick(force=True)
+
+    with plan:
+        timeline = run_request_timeline(
+            mesh.clock,
+            request_once,
+            duration_ns=duration * SECOND_NS,
+            events=events,
+            failover_meter=lambda: frontend.pool.total_failovers,
+        )
+        while not rollout.done:
+            rollout.step()
+        for __ in range(SETTLE_TICKS):
+            if mesh.settled:
+                break
+            mesh.clock.clock_ns = mesh.clock.clock_ns + policy.heartbeat_interval_ns
+            mesh.tick()
+
+    stats = frontend.stats()
+    report = rollout.report()
+    crashed = f"host-{target}"
+    expected_completed = sorted(
+        host.name for host in mesh.hosts if host.name != crashed
+    )
+    blast_radius_ok = (
+        report["state"] == "partial"
+        and sorted(report["completed_shards"]) == expected_completed
+        and list(report["aborted_shards"]) == [crashed]
+    )
+    ok = (
+        stats["accounted"]
+        and stats["shed"] == 0
+        and not timeline.errors
+        and stats["issued"] == seeded + timeline.total_requests
+        and blast_radius_ok
+        and mesh.settled
+        and plan.fired == 1
+        and plan.consistent_with_plan()
+    )
+    return {
+        "seed": seed,
+        "crashed_shard": crashed,
+        "ok": ok,
+        "accounted": stats["accounted"],
+        "blast_radius_ok": blast_radius_ok,
+        "settled": mesh.settled,
+        "faults_fired": plan.fired,
+        "frontend": stats,
+        "rollout": {
+            "state": report["state"],
+            "completed_shards": report["completed_shards"],
+            "aborted_shards": report["aborted_shards"],
+        },
+        "workload": {
+            "total_requests": timeline.total_requests,
+            "served": sum(point.completed for point in timeline.points),
+            "failed_requests": timeline.failed_requests,
+            "failed_over_requests": timeline.failed_over_requests,
+            "errors": len(timeline.errors),
+        },
+        "clocks": {
+            "mesh_ns": mesh.clock.clock_ns,
+            "hosts_ns": {
+                host.name: host.kernel.clock_ns for host in mesh.hosts
+            },
+        },
+    }
+
+
+def run_all(args) -> tuple[dict, list[TelemetryHub]]:
+    campaigns = []
+    hubs = []
+    for index in range(args.seeds):
+        seed = args.seed_base + index
+        campaign, hub = run_recorded(
+            f"mesh-{seed}", lambda hub: run_campaign(args, seed, hub)
+        )
+        campaigns.append(campaign)
+        hubs.append(hub)
+        workload = campaign["workload"]
+        print(
+            f"seed {seed} [crash {campaign['crashed_shard']}] "
+            f"{'ok' if campaign['ok'] else 'VIOLATED'}: "
+            f"rollout {campaign['rollout']['state']}, "
+            f"{workload['total_requests']} reqs "
+            f"({workload['failed_over_requests']} failed over, "
+            f"{workload['errors']} errors), "
+            f"frontend shed {campaign['frontend']['shed']}"
+        )
+    clean = all(campaign["ok"] for campaign in campaigns)
+    payload = {
+        "shards": args.shards,
+        "size_per_shard": args.size,
+        "routing": "hash",
+        "clean": clean,
+        "campaigns_total": len(campaigns),
+        "campaigns_ok": sum(1 for campaign in campaigns if campaign["ok"]),
+        "campaigns": campaigns,
+    }
+    return payload, hubs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="mesh")
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--seed-base", type=int, default=700)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--size", type=int, default=2,
+                        help="instances per shard")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("results/mesh_rollout.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="one quick 2-shard seed (CI)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run twice; require byte-identical exports")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.check:
+        args.shards, args.size, args.seeds = 2, 2, 1
+    if args.shards < 2:
+        print("mesh: --shards must be >= 2 (a crash needs a survivor)")
+        return 2
+    if args.size < 2:
+        # one instance = one canary batch: the shard's rollout finishes
+        # in a single step and the crash can never land mid-rollout
+        print("mesh: --size must be >= 2 (the crash lands between the "
+              "canary batch and the rolling batch)")
+        return 2
+    # profiling and the dataflow flow-cache are memoized process-wide;
+    # warm both *outside* the recorded campaigns so the first and second
+    # runs emit identical telemetry (a cold VSA cache would give run one
+    # extra ``dynaflow.vsa`` spans)
+    app = get_app("redis")
+    for feature in app.features:
+        profile_feature(app, feature)
+    scratch = Kernel()
+    app.stage(scratch, app.default_port)
+    for binary in scratch.binaries.values():
+        analyze_image_flow(binary)
+
+    payload, hubs = run_all(args)
+    if args.check_determinism:
+        replay_payload, replay_hubs = run_all(args)
+        summary = json.dumps(payload, sort_keys=True)
+        replay = json.dumps(replay_payload, sort_keys=True)
+        events = "".join(to_jsonl(hub) for hub in hubs)
+        replay_events = "".join(to_jsonl(hub) for hub in replay_hubs)
+        if summary != replay or events != replay_events:
+            print("DETERMINISM VIOLATED: re-run diverged "
+                  f"(report match={summary == replay}, "
+                  f"events match={events == replay_events})")
+            return 1
+        print(f"determinism: byte-identical re-export "
+              f"({len(events.splitlines())} events)")
+    return write_results(
+        args.output, payload, hubs, payload["clean"],
+        banner=f"({payload['campaigns_ok']}/{payload['campaigns_total']})",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

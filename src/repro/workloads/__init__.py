@@ -7,6 +7,7 @@ from .driver import (
     TimelineEvent,
     TimelinePoint,
     TimelineResult,
+    VirtualClock,
     run_request_timeline,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "TimelineEvent",
     "TimelinePoint",
     "TimelineResult",
+    "VirtualClock",
     "run_request_timeline",
 ]

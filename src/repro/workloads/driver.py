@@ -11,12 +11,30 @@ the shape of the paper's Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Protocol
 
 from .. import telemetry
-from ..kernel.kernel import Kernel
 
 SECOND_NS = 1_000_000_000
+
+
+class _ClockConfig(Protocol):
+    syscall_cost_ns: int
+
+
+class VirtualClock(Protocol):
+    """What the driver actually needs from a "kernel".
+
+    A readable/writable virtual clock plus the syscall cost used to
+    nudge past synchronous errors.  A real
+    :class:`~repro.kernel.kernel.Kernel` satisfies this, and so does
+    :class:`~repro.mesh.MeshClock` — the mesh facade whose reads return
+    the max over member kernels and whose writes raise lagging ones —
+    so one driver measures both a single machine and a sharded mesh.
+    """
+
+    clock_ns: int
+    config: _ClockConfig
 
 
 @dataclass(frozen=True)
@@ -69,7 +87,7 @@ class TimelineResult:
 
 
 def run_request_timeline(
-    kernel: Kernel,
+    kernel: VirtualClock,
     request_once: Callable[[], bool],
     duration_ns: int,
     bucket_ns: int = SECOND_NS,

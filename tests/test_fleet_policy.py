@@ -45,6 +45,10 @@ class TestFleetPolicy:
         {"failover_budget": -1},
         {"trap_storm_window_ns": 0},
         {"trap_storm_threshold": 0},
+        {"shards": 0},
+        {"shards": -2},
+        {"ring_replicas": 0},
+        {"host_failover_budget": -1},
     ])
     def test_invalid_fields_rejected(self, kwargs):
         with pytest.raises(PolicyError):
@@ -65,6 +69,24 @@ class TestFleetPolicy:
         )
         assert FleetPolicy.from_dict(policy.to_dict()) == policy
         assert policy.failover_budget == 2
+
+    def test_mesh_knobs_roundtrip(self):
+        policy = FleetPolicy(
+            features=("f",), shards=4, ring_replicas=32,
+            host_failover_budget=2,
+        )
+        payload = policy.to_dict()
+        assert payload["shards"] == 4
+        assert payload["ring_replicas"] == 32
+        assert payload["host_failover_budget"] == 2
+        assert FleetPolicy.from_dict(payload) == policy
+
+    def test_mesh_defaults_are_single_kernel(self):
+        # a default policy is the classic one-host fleet
+        policy = FleetPolicy(features=("f",))
+        assert policy.shards == 1
+        assert policy.ring_replicas >= 1
+        assert policy.host_failover_budget >= 0
 
     def test_from_dict_rejects_unknown_keys(self):
         with pytest.raises(PolicyError, match="unknown"):

@@ -1,0 +1,203 @@
+"""Frontend-tier routing and the no-lost-requests accounting identity.
+
+The frontend is deliberately testable without booting kernels: it only
+needs hosts with an ``index``, a ``name``, and a clock, plus the
+``request(host)`` callback.  Stub hosts keep these tests fast and make
+the failure injection exact; the full-stack path (real kernels, real
+kvstore fleets) is covered in ``test_mesh_controller.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.kernel.balancer import NoBackendAvailable
+from repro.mesh import Frontend, HashRing, MeshError
+
+
+class StubClock:
+    clock_ns = 0
+
+    @property
+    def config(self):  # pragma: no cover — driver compat only
+        return None
+
+
+class StubHost:
+    """Just enough host for the frontend: an index, a name, a clock."""
+
+    def __init__(self, index):
+        self.index = index
+        self.name = f"host-{index}"
+        self.kernel = StubClock()
+        self.serving = True
+
+    def serve(self, _host=None):
+        if not self.serving:
+            raise NoBackendAvailable(
+                f"connection refused: no backend in service behind {self.name}"
+            )
+        return True
+
+
+def make_frontend(n=2, mode="spread", budget=1, replicas=8):
+    hosts = [StubHost(index) for index in range(n)]
+    return hosts, Frontend(
+        hosts, mode=mode, ring_replicas=replicas, host_failover_budget=budget
+    )
+
+
+class TestConstruction:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(MeshError, match="routing mode"):
+            make_frontend(mode="anycast")
+
+    def test_no_hosts_rejected(self):
+        with pytest.raises(MeshError, match="at least one host"):
+            Frontend([])
+
+    def test_hash_dispatch_requires_key(self):
+        __, frontend = make_frontend(mode="hash")
+        with pytest.raises(MeshError, match="key"):
+            frontend.dispatch(lambda host: True)
+
+
+class TestSpreadRouting:
+    def test_round_robin_balances(self):
+        hosts, frontend = make_frontend(n=2)
+        for __ in range(10):
+            assert frontend.dispatch(lambda host: host.serve())
+        stats = frontend.stats()
+        assert stats["dispatched"] == {"host-0": 5, "host-1": 5}
+        assert stats["issued"] == stats["served"] == 10
+        assert stats["accounted"]
+
+    def test_dead_host_fails_over_and_is_marked_down(self):
+        hosts, frontend = make_frontend(n=2)
+        hosts[0].serving = False
+        results = [frontend.dispatch(lambda host: host.serve()) for __ in range(6)]
+        assert all(results)
+        stats = frontend.stats()
+        assert stats["down_hosts"] == [0]
+        # at least the bounce-discovering request is a failover; the
+        # rest route cleanly to the survivor
+        assert stats["failed_over"] >= 1
+        assert stats["served"] + stats["failed_over"] == 6
+        assert stats["shed"] == 0
+        assert stats["accounted"]
+
+    def test_all_hosts_down_sheds_with_accounting(self):
+        hosts, frontend = make_frontend(n=2, budget=3)
+        for host in hosts:
+            host.serving = False
+        for __ in range(4):
+            with pytest.raises(NoBackendAvailable, match="mesh failover budget"):
+                frontend.dispatch(lambda host: host.serve())
+        stats = frontend.stats()
+        assert stats["shed"] == 4
+        assert stats["served"] == stats["failed_over"] == 0
+        assert stats["accounted"]
+
+    def test_recovered_host_rejoins_after_mark_up(self):
+        hosts, frontend = make_frontend(n=2)
+        hosts[0].serving = False
+        for __ in range(4):
+            frontend.dispatch(lambda host: host.serve())
+        assert frontend.down_hosts == [0]
+        hosts[0].serving = True
+        frontend.mark_host_up(0)
+        for __ in range(4):
+            frontend.dispatch(lambda host: host.serve())
+        assert frontend.down_hosts == []
+        assert frontend.stats()["dispatched"]["host-0"] >= 1
+
+    def test_zero_budget_sheds_on_first_bounce(self):
+        hosts, frontend = make_frontend(n=2, budget=0)
+        hosts[0].serving = False
+        shed_before = 0
+        outcomes = []
+        for __ in range(4):
+            try:
+                frontend.dispatch(lambda host: host.serve())
+                outcomes.append("served")
+            except NoBackendAvailable:
+                outcomes.append("shed")
+        # exactly one request pays for discovering the dead host
+        assert outcomes.count("shed") == 1
+        assert frontend.stats()["accounted"]
+        assert shed_before == 0
+
+
+class TestApplicationErrors:
+    def test_app_error_is_accounted_as_delivered(self):
+        # an exception out of the request itself (not routing) must not
+        # leak an unaccounted request
+        hosts, frontend = make_frontend(n=2)
+
+        def broken(host):
+            raise ValueError("app-level explosion")
+
+        with pytest.raises(ValueError):
+            frontend.dispatch(broken)
+        stats = frontend.stats()
+        assert stats["issued"] == stats["served"] == 1
+        assert stats["accounted"]
+
+
+class TestHashRouting:
+    def test_keyed_requests_land_on_owning_shard(self):
+        hosts, frontend = make_frontend(n=4, mode="hash", replicas=16)
+        ring = HashRing(16, shards=[0, 1, 2, 3])
+        for index in range(24):
+            key = f"key-{index}"
+            landed = []
+            frontend.dispatch(lambda host: landed.append(host.index), key=key)
+            assert landed == [ring.shard_for(key)]
+
+    def test_down_host_arc_fails_over_to_ring_successor(self):
+        hosts, frontend = make_frontend(n=3, mode="hash", replicas=16)
+        hosts[1].serving = False
+        ring = HashRing(16, shards=[0, 1, 2])
+        owned_by_1 = [f"k{i}" for i in range(60) if ring.shard_for(f"k{i}") == 1]
+        assert owned_by_1, "sample keyspace never hit shard 1?"
+        for key in owned_by_1:
+            landed = []
+
+            def request(host, _landed=landed):
+                host.serve()
+                _landed.append(host.index)
+                return True
+
+            assert frontend.dispatch(request, key=key)
+            # the arc moves exactly where a topology change would put it
+            assert landed[-1] == ring.shard_for(key, down={1})
+        # keys not owned by the dead shard never moved
+        for index in range(60):
+            key = f"k{index}"
+            if ring.shard_for(key) == 1:
+                continue
+            landed = []
+            frontend.dispatch(
+                lambda host, _landed=landed: _landed.append(host.index) or True,
+                key=key,
+            )
+            assert landed == [ring.shard_for(key)]
+        assert frontend.stats()["accounted"]
+
+
+class TestUnreachableFaultSite:
+    def test_dropped_hop_retries_without_marking_down(self):
+        hosts, frontend = make_frontend(n=2, budget=1)
+        plan = FaultPlan(seed=3).arm(
+            "mesh.host_unreachable", "transient", on_call=1, times=1
+        )
+        with plan:
+            for __ in range(4):
+                assert frontend.dispatch(lambda host: host.serve())
+        assert plan.fired == 1
+        stats = frontend.stats()
+        # the dropped hop failed over but the host was never marked down
+        assert stats["failed_over"] == 1
+        assert stats["down_hosts"] == []
+        assert stats["accounted"]

@@ -1,0 +1,133 @@
+"""Property tests for the mesh's consistent-hash ring.
+
+The mesh's whole-host failure story rests on three ring properties,
+pinned here with hypothesis:
+
+1. **determinism** — the same shard set and replica count always maps
+   a key to the same shard, across freshly built rings (no dependence
+   on interpreter hash randomization or insertion order);
+2. **minimal remapping** — removing one shard only remaps the keys
+   that shard owned; every other key keeps its assignment;
+3. **single-crash liveness** — with any one shard marked down, every
+   key still maps to some live shard (as long as two shards exist).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh import HashRing, RingError, stable_hash
+
+keys = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=40, unique=True
+)
+shard_sets = st.lists(
+    st.integers(min_value=0, max_value=31), min_size=2, max_size=8, unique=True
+)
+replica_counts = st.integers(min_value=1, max_value=16)
+
+
+class TestStableHash:
+    def test_stable_values(self):
+        # frozen expectations: a change here would silently remap every
+        # deployed keyspace
+        assert stable_hash("a") == stable_hash("a")
+        assert stable_hash("a") != stable_hash("b")
+        assert 0 <= stable_hash("anything") < 2**64
+
+    @given(st.text(max_size=64))
+    def test_in_64_bit_range(self, value):
+        assert 0 <= stable_hash(value) < 2**64
+
+
+class TestRingConstruction:
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(RingError, match="replicas"):
+            HashRing(replicas=0)
+
+    def test_empty_ring_has_no_owner(self):
+        with pytest.raises(RingError, match="no shards"):
+            HashRing().shard_for("k")
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(replicas=4, shards=[0, 1])
+        ring.add(1)
+        assert ring.to_dict()["points"] == 8
+
+    def test_remove_unknown_is_noop(self):
+        ring = HashRing(replicas=4, shards=[0])
+        ring.remove(9)
+        assert ring.shards == (0,)
+
+    def test_all_down_raises(self):
+        ring = HashRing(replicas=4, shards=[0, 1])
+        with pytest.raises(RingError, match="all"):
+            ring.shard_for("k", down={0, 1})
+
+
+class TestRingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(shards=shard_sets, replicas=replica_counts, ks=keys)
+    def test_deterministic_across_fresh_rings(self, shards, replicas, ks):
+        # build one ring in order and one reversed: same assignments
+        forward = HashRing(replicas, shards=shards)
+        backward = HashRing(replicas, shards=list(reversed(shards)))
+        for key in ks:
+            assert forward.shard_for(key) == backward.shard_for(key)
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=shard_sets, replicas=replica_counts, ks=keys)
+    def test_remove_only_remaps_the_removed_arc(self, shards, replicas, ks):
+        ring = HashRing(replicas, shards=shards)
+        before = {key: ring.shard_for(key) for key in ks}
+        victim = shards[0]
+        ring.remove(victim)
+        for key in ks:
+            after = ring.shard_for(key)
+            if before[key] == victim:
+                assert after != victim
+            else:
+                # a key the victim never owned must not move at all
+                assert after == before[key]
+
+    @settings(max_examples=60, deadline=None)
+    @given(shards=shard_sets, replicas=replica_counts, ks=keys)
+    def test_single_crash_still_maps_every_key(self, shards, replicas, ks):
+        ring = HashRing(replicas, shards=shards)
+        for crashed in shards:
+            for key in ks:
+                survivor = ring.shard_for(key, down={crashed})
+                assert survivor in shards
+                assert survivor != crashed
+
+    @settings(max_examples=40, deadline=None)
+    @given(shards=shard_sets, replicas=replica_counts, ks=keys)
+    def test_down_matches_remove(self, shards, replicas, ks):
+        # marking a shard down routes exactly where removing it would:
+        # failover follows the same successor arcs as a permanent
+        # topology change, so recovery cannot "move the data back"
+        ring = HashRing(replicas, shards=shards)
+        shrunk = HashRing(replicas, shards=[s for s in shards if s != shards[-1]])
+        for key in ks:
+            assert ring.shard_for(key, down={shards[-1]}) == shrunk.shard_for(key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(shards=shard_sets, replicas=replica_counts, ks=keys)
+    def test_successors_start_with_owner_and_cover_all(self, shards, replicas, ks):
+        ring = HashRing(replicas, shards=shards)
+        for key in ks:
+            order = list(ring.successors(key))
+            assert order[0] == ring.shard_for(key)
+            assert sorted(order) == sorted(shards)
+
+
+class TestRingBalance:
+    def test_replicas_smooth_the_keyspace(self):
+        # with enough virtual nodes no shard owns a wildly outsized
+        # share (a sanity bound, not a statistical claim)
+        ring = HashRing(replicas=64, shards=[0, 1, 2, 3])
+        share = ring.arc_sizes(samples=2000)
+        assert sum(share.values()) == 2000
+        for owned in share.values():
+            assert 0.10 * 2000 < owned < 0.45 * 2000
