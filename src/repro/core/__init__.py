@@ -23,7 +23,13 @@ from .rewriter import (
     RewriteError,
     RewriteStats,
 )
-from .dynacut import BlockMode, DynaCut, RewriteReport, TrapPolicy
+from .dynacut import (
+    BlockMode,
+    DynaCut,
+    RewriteReport,
+    ShelvedBlock,
+    TrapPolicy,
+)
 from .transaction import (
     CustomizationAborted,
     JournalEntry,
@@ -81,6 +87,7 @@ __all__ = [
     "RewriteReport",
     "RewriteStats",
     "RollbackFailed",
+    "ShelvedBlock",
     "TraceDiff",
     "TxJournal",
     "TrapPolicy",

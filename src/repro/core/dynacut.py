@@ -154,6 +154,22 @@ class RewriteReport:
         }
 
 
+@dataclass(frozen=True)
+class ShelvedBlock:
+    """One block of a disabled feature temporarily back in service.
+
+    Shelving (arXiv 2501.04963's "shelve, don't ditch") restores only
+    the blocks live traffic actually trapped, leaving the rest of the
+    feature's removal set patched.  The timestamp drives the decay
+    timer: a shelved block that stays cold for ``decay_ns`` is
+    re-removed through the same transactional rewrite path.
+    """
+
+    block: BlockRecord
+    #: virtual-clock time the shelve transaction committed
+    shelved_ns: int
+
+
 @dataclass
 class _TxState:
     """What one customize attempt has put at risk so far."""
@@ -189,6 +205,12 @@ class DynaCut:
     _disabled: dict[tuple[int, str], list[BlockRecord]] = field(
         default_factory=dict
     )
+    #: blocks shelved (temporarily restored) per (root pid, feature
+    #: name), keyed by block offset; the complement of ``_disabled``
+    #: within the feature's committed removal set
+    _shelved: dict[tuple[int, str], dict[int, ShelvedBlock]] = field(
+        default_factory=dict
+    )
 
     @property
     def pristine_dir(self) -> str:
@@ -202,6 +224,7 @@ class DynaCut:
         self,
         root_pid: int,
         actions: Callable[[ImageRewriter], None],
+        op: str = "customize",
     ) -> RewriteReport:
         """Checkpoint, apply ``actions`` to the image, restore — as a
         journaled transaction.
@@ -216,7 +239,7 @@ class DynaCut:
         :attr:`max_attempts` times with capped deterministic backoff
         charged to the virtual clock.
         """
-        journal = TxJournal(self.kernel.fs, self.image_dir)
+        journal = TxJournal(self.kernel.fs, self.image_dir, op=op)
         self.last_journal = journal
         failures = 0
         with telemetry.span(
@@ -686,11 +709,15 @@ class DynaCut:
         """Restore a previously blocked feature's original bytes.
 
         Restores exactly the blocks the matching :meth:`disable_feature`
-        session patched when one is on record; otherwise falls back to
-        the mode-derived selection.
+        session patched when one is on record (minus any blocks already
+        shelved back into service); otherwise falls back to the
+        mode-derived selection.
         """
         recorded = self._disabled.get((root_pid, feature.name))
-        blocks = recorded if recorded else self._blocks_for_mode(feature, mode)
+        blocks = (
+            recorded if recorded is not None
+            else self._blocks_for_mode(feature, mode)
+        )
 
         def actions(rewriter: ImageRewriter) -> None:
             rewriter.restore_blocks(feature.module, blocks)
@@ -700,7 +727,135 @@ class DynaCut:
         # must survive for the retry
         report = self.customize(root_pid, actions)
         self._disabled.pop((root_pid, feature.name), None)
+        self._shelved.pop((root_pid, feature.name), None)
         return report
+
+    # ------------------------------------------------------------------
+    # DynaShelve: block-granular partial re-enable with decay
+
+    def reenable_blocks(
+        self,
+        root_pid: int,
+        feature: FeatureBlocks,
+        offsets: list[int],
+        reset_log: bool = False,
+    ) -> RewriteReport | None:
+        """Shelve: restore only the given blocks of a disabled feature.
+
+        The graceful alternative to :meth:`enable_feature` when live
+        traffic traps on part of a removal set: the trapping blocks are
+        durably restored through the journaled transaction path
+        (``op=shelve`` in the journal) while the rest of the feature
+        stays patched.  Shelved blocks are timestamped so
+        :meth:`decay_shelved` can re-remove the ones that go cold.
+
+        Offsets already shelved are no-ops; when *every* requested
+        offset is already shelved the call returns ``None`` without
+        opening a transaction, making re-shelving idempotent.  Offsets
+        that belong to neither the patched set nor the shelf raise
+        :class:`RewriteError` — they are not this feature's blocks.
+
+        ``reset_log=True`` additionally zeroes the verifier trap log in
+        the rewritten image, marking the shelved traps as consumed so
+        the next drift scan starts clean.
+        """
+        key = (root_pid, feature.name)
+        recorded = self._disabled.get(key)
+        if recorded is None:
+            raise RewriteError(
+                f"feature {feature.name!r} is not disabled on pid {root_pid}; "
+                "nothing to shelve"
+            )
+        shelf = self._shelved.get(key, {})
+        wanted = set(offsets)
+        known = {block.offset for block in recorded}
+        unknown = wanted - known - set(shelf)
+        if unknown:
+            raise RewriteError(
+                f"offsets {sorted(unknown)} are not part of feature "
+                f"{feature.name!r}'s removal set"
+            )
+        targets = [block for block in recorded if block.offset in wanted]
+        if not targets:
+            return None  # everything requested is already shelved
+
+        def actions(rewriter: ImageRewriter) -> None:
+            rewriter.restore_blocks(feature.module, targets)
+            if reset_log:
+                rewriter.reset_trap_log()
+
+        report = self.customize(root_pid, actions, op="shelve")
+        # mutate the records only after the transaction commits: an
+        # aborted shelve leaves the blocks patched and on the record
+        now = self.kernel.clock_ns
+        shelf = self._shelved.setdefault(key, {})
+        for block in targets:
+            shelf[block.offset] = ShelvedBlock(block, now)
+        self._disabled[key] = [
+            block for block in recorded if block.offset not in wanted
+        ]
+        telemetry.count("shelved_blocks_total", len(targets))
+        telemetry.emit(
+            "shelve", "shelved", clock_ns=now, pid=root_pid,
+            feature=feature.name, blocks=len(targets),
+            bytes=sum(block.size for block in targets),
+        )
+        return report
+
+    def decay_shelved(
+        self,
+        root_pid: int,
+        feature: FeatureBlocks,
+        decay_ns: int,
+    ) -> list[BlockRecord]:
+        """Re-remove shelved blocks that stayed cold for ``decay_ns``.
+
+        Entry bytes of every cold shelved block are re-patched with
+        ``int3`` through the transactional path (``op=decay``); the
+        trap handler's tables are untouched — original-byte entries
+        written by the disabling session remain valid, so a decayed
+        block heals again if traffic returns.  Returns the re-removed
+        blocks (empty, with no transaction opened, when nothing is
+        cold).
+        """
+        key = (root_pid, feature.name)
+        cold = [
+            shelved.block
+            for shelved in self._shelved.get(key, {}).values()
+            if self.kernel.clock_ns - shelved.shelved_ns >= decay_ns
+        ]
+        if not cold:
+            return []
+        cold.sort(key=lambda block: block.offset)
+
+        def actions(rewriter: ImageRewriter) -> None:
+            rewriter.block_entry_int3(feature.module, cold)
+
+        self.customize(root_pid, actions, op="decay")
+        shelf = self._shelved[key]
+        for block in cold:
+            del shelf[block.offset]
+        recorded = self._disabled.setdefault(key, [])
+        recorded.extend(cold)
+        recorded.sort(key=lambda block: block.offset)
+        now = self.kernel.clock_ns
+        telemetry.count("decayed_blocks_total", len(cold))
+        telemetry.emit(
+            "shelve", "decayed", clock_ns=now, pid=root_pid,
+            feature=feature.name, blocks=len(cold),
+            bytes=sum(block.size for block in cold),
+        )
+        return cold
+
+    def shelved_blocks(
+        self, root_pid: int, feature_name: str
+    ) -> list[ShelvedBlock]:
+        """Blocks of a feature currently shelved (restored, decaying)."""
+        shelf = self._shelved.get((root_pid, feature_name), {})
+        return sorted(shelf.values(), key=lambda s: s.block.offset)
+
+    def shelved_offsets(self, root_pid: int, feature_name: str) -> list[int]:
+        return sorted(self._shelved.get((root_pid, feature_name), {}))
 
     # ------------------------------------------------------------------
     # init-code removal
@@ -807,6 +962,11 @@ class DynaCut:
             "alive": proc is not None and proc.alive,
             "tree_pids": sorted(tree),
             "disabled_features": self.disabled_features(root_pid),
+            "shelved_blocks": {
+                name: len(shelf)
+                for (pid, name), shelf in sorted(self._shelved.items())
+                if pid == root_pid and shelf
+            },
             "syscall_filter": (
                 sorted(proc.syscall_filter)
                 if proc is not None and proc.syscall_filter is not None

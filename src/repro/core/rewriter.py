@@ -586,6 +586,35 @@ class ImageRewriter:
             write_u64(sighandler.ORIG_TABLE_SYMBOL, 2 * index + 1, byte)
         write_u64(sighandler.LOG_COUNT_SYMBOL, 0, 0)
 
+    def reset_trap_log(self, library: SelfImage | None = None) -> int:
+        """Zero the verifier's trap log in every process with a handler.
+
+        The shelve path uses this after durably restoring trapped
+        blocks: their log entries are consumed, and the next drift scan
+        must observe only traps that happen *after* the shelve commit.
+        Unlike :meth:`install_trap_handler` this touches nothing else —
+        the policy, redirect and original-byte tables stay valid for
+        the blocks that remain patched.  Returns the number of process
+        images whose log was cleared.
+        """
+        if library is None:
+            libc = self.kernel.binaries.get("libc.so")
+            if libc is None:
+                raise RewriteError("libc.so not registered; cannot build handler")
+            library = sighandler.build_handler_library(libc)
+        cleared = 0
+        for image in self.checkpoint.processes:
+            base = self.existing_handler_base(image, library)
+            if base is None:
+                continue
+            address = base + library.symbol_address(
+                sighandler.LOG_COUNT_SYMBOL
+            )
+            image.write_memory(address, (0).to_bytes(8, "little"))
+            cleared += 1
+        self.kernel.clock_ns += self.cost_model.set_sigaction_ns
+        return cleared
+
     def _set_sigtrap(
         self, image: ProcessImage, library: SelfImage, base: int
     ) -> None:

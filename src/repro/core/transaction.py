@@ -105,6 +105,9 @@ class TxJournal:
 
     fs: object
     image_dir: str
+    #: what opened this transaction: "customize" for a full-feature
+    #: session, "shelve"/"decay" for the block-granular DynaShelve ops
+    op: str = "customize"
     entries: list[JournalEntry] = field(default_factory=list)
 
     @property
@@ -114,9 +117,12 @@ class TxJournal:
     def record(
         self, phase: str, attempt: int, clock_ns: int, note: str = ""
     ) -> None:
+        if phase == PHASE_BEGIN and self.op != "customize" and not note:
+            note = f"op={self.op}"
         self.entries.append(JournalEntry(phase, attempt, clock_ns, note))
         telemetry.emit(
-            "journal", phase, clock_ns=clock_ns, attempt=attempt, note=note
+            "journal", phase, clock_ns=clock_ns, attempt=attempt, note=note,
+            op=self.op,
         )
         telemetry.count("journal_phase_total", phase=phase)
         # journal appends are modelled atomic; see module docstring

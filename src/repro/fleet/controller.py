@@ -103,6 +103,9 @@ class FleetController:
         #: set by FleetSupervisor.__init__ when one attaches; status()
         #: folds its health/breaker view in when present
         self.supervisor = None
+        #: set by DriftDetector.__init__ when one attaches; status()
+        #: folds its shelving/recustomization view in when present
+        self.drift = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -198,6 +201,12 @@ class FleetController:
             try:
                 for feature_name in self.policy.features:
                     feature = self.features[feature_name]
+                    # re-customizing an already-customized instance (a
+                    # narrowed removal set rolling out after drift)
+                    # restores the old set first so the engine's record
+                    # tracks exactly the new one
+                    if feature_name in instance.customized_features:
+                        self.rollback_feature(instance, feature_name)
                     report = instance.engine.disable_feature(
                         instance.root_pid,
                         feature,
@@ -256,6 +265,14 @@ class FleetController:
                     result.succeeded += 1
             except Exception as exc:  # noqa: BLE001 — a failed probe, not a bug
                 result.errors.append(repr(exc))
+        # Exercising the removed features is only meaningful under the
+        # redirect policy (the gate checks they really serve the error
+        # arm).  Under the verifier it would be actively harmful: every
+        # probe trap *heals* its block in live memory, so one health
+        # probe would silently restore the whole removal set and leave
+        # nothing debloated — the probe must not undo the customization.
+        if self.policy.trap_policy == "verify":
+            return result
         for feature_name in self.policy.features:
             try:
                 served = self.app.feature_request(
@@ -291,6 +308,100 @@ class FleetController:
                 "traps_seen", now, instance.traps_seen, instance=instance.name
             )
         return instance.traps_seen
+
+    # ------------------------------------------------------------------
+    # DynaShelve verbs
+
+    def shelve_blocks(
+        self,
+        instance: FleetInstance,
+        feature_name: str,
+        offsets: list[int],
+    ) -> RewriteReport | None:
+        """Shelve the trapping blocks of one feature on one instance.
+
+        Drains the instance around the journaled partial re-enable,
+        resets the verifier trap log (the shelved traps are consumed),
+        and re-syncs the drift high-water mark.  Returns ``None`` when
+        every offset was already shelved (no transaction).
+        """
+        feature = self.features[feature_name]
+        try:
+            self.drain(instance)
+            with telemetry.label_scope(instance=instance.name):
+                report = instance.engine.reenable_blocks(
+                    instance.root_pid, feature, offsets, reset_log=True
+                )
+        finally:
+            if self.alive(instance):
+                self.rejoin(instance)
+        self.sync_traps(instance)
+        return report
+
+    def decay_shelved(
+        self,
+        instance: FleetInstance,
+        feature_name: str,
+        decay_ns: int | None = None,
+    ):
+        """Re-remove one feature's cold shelved blocks on one instance.
+
+        Peeks at the shelf first and opens no transaction (and does not
+        drain) when nothing has been cold for ``decay_ns`` (default:
+        the policy's ``shelve_decay_ns``).  Returns the re-removed
+        blocks.
+        """
+        decay = self.policy.shelve_decay_ns if decay_ns is None else decay_ns
+        engine = instance.engine
+        shelf = engine.shelved_blocks(instance.root_pid, feature_name)
+        if not any(
+            self.kernel.clock_ns - shelved.shelved_ns >= decay
+            for shelved in shelf
+        ):
+            return []
+        feature = self.features[feature_name]
+        try:
+            self.drain(instance)
+            with telemetry.label_scope(instance=instance.name):
+                cold = engine.decay_shelved(instance.root_pid, feature, decay)
+        finally:
+            if self.alive(instance):
+                self.rejoin(instance)
+        return cold
+
+    def recustomize_feature(
+        self,
+        instance: FleetInstance,
+        feature_name: str,
+        narrowed: FeatureBlocks,
+    ) -> RewriteReport:
+        """Swap one instance's removal set for a narrower one.
+
+        The adaptive-loop primitive (arXiv 2109.02775): restore the old
+        set, then disable the ``narrowed`` feature through the same
+        policy — all under a drain.  The fresh handler install resets
+        the trap log, so the drift mark is re-synced afterwards.
+        """
+        try:
+            self.drain(instance)
+            with telemetry.label_scope(instance=instance.name):
+                self.rollback_feature(instance, feature_name)
+                report = instance.engine.disable_feature(
+                    instance.root_pid,
+                    narrowed,
+                    policy=self.policy.trap_policy_enum,
+                    mode=self.policy.block_mode_enum,
+                    redirect_symbol=(
+                        self.app.redirect_symbol
+                        if self.policy.trap_policy == "redirect"
+                        else None
+                    ),
+                )
+        finally:
+            if self.alive(instance):
+                self.rejoin(instance)
+        self.sync_traps(instance)
+        return report
 
     # ------------------------------------------------------------------
     # status
@@ -362,10 +473,23 @@ class FleetController:
                     "customized_features": instance.customized_features,
                     "rewrites": len(instance.engine.history),
                     "traps_seen": instance.traps_seen,
+                    "shelved_blocks": {
+                        feature: len(
+                            instance.engine.shelved_offsets(
+                                instance.root_pid, feature
+                            )
+                        )
+                        for feature in self.policy.features
+                        if instance.engine.shelved_offsets(
+                            instance.root_pid, feature
+                        )
+                    },
                 }
                 for instance in self.instances
             ],
         }
         if self.supervisor is not None:
             status["supervision"] = self.supervisor.supervision_status()
+        if self.drift is not None:
+            status["drift"] = self.drift.status.to_dict()
         return status

@@ -26,7 +26,7 @@ STRATEGIES = ("canary", "rolling")
 #: instance, which violates the fleet's availability contract
 TRAP_POLICIES = ("redirect", "verify")
 BLOCK_MODES = ("entry", "all", "wipe")
-DRIFT_ACTIONS = ("reenable", "ignore")
+DRIFT_ACTIONS = ("reenable", "ignore", "shelve", "recustomize")
 
 
 class PolicyError(ValueError):
@@ -58,8 +58,17 @@ class FleetPolicy:
     drift_window_ns: int = 10 * SECOND_NS
     #: ...needed to declare coverage drift and trigger the action
     drift_trap_threshold: int = 1
-    #: "reenable" (restore the feature fleet-wide) or "ignore" (log only)
+    #: "reenable" (restore the feature fleet-wide), "ignore" (log only),
+    #: "shelve" (restore only the trapping blocks, with decay), or
+    #: "recustomize" (re-profile against the drifted trap mix and roll
+    #: out a narrower removal set)
     drift_action: str = "reenable"
+    #: shelve: virtual time a shelved block must stay cold before the
+    #: decay sweep re-removes it
+    shelve_decay_ns: int = 8 * SECOND_NS
+    #: shelve: max blocks of one feature live on the shelf per instance
+    #: before shelving escalates to a full local re-enable (demote)
+    shelve_max_live_blocks: int = 8
     #: supervision: minimum virtual time between supervisor heartbeats
     heartbeat_interval_ns: int = SECOND_NS
     #: consecutive failed probes before SUSPECT becomes DOWN
@@ -119,6 +128,10 @@ class FleetPolicy:
                 f"unknown drift action {self.drift_action!r}; use one of "
                 f"{DRIFT_ACTIONS}"
             )
+        if self.shelve_decay_ns <= 0:
+            raise PolicyError("shelve_decay_ns must be positive")
+        if self.shelve_max_live_blocks < 1:
+            raise PolicyError("shelve_max_live_blocks must be >= 1")
         if self.heartbeat_interval_ns <= 0:
             raise PolicyError("heartbeat_interval_ns must be positive")
         if self.suspect_threshold < 1:

@@ -92,6 +92,9 @@ class FleetSupervisor:
         self._last_tick_ns: int | None = None
         #: per-instance (clock_ns, hits) observations for the trap storm
         self._trap_window: dict[str, list[tuple[int, int]]] = {}
+        #: per-instance trapped offsets per feature, accumulated by the
+        #: breaker scans and consumed by a shelve (drift_action=shelve)
+        self._storm_pending: dict[str, dict[str, set[int]]] = {}
         #: per-instance breaker trips (demotions) for breaker_status()
         self.breaker_trips: dict[str, int] = {}
         # the controller folds our health/breaker view into status()
@@ -360,22 +363,67 @@ class FleetSupervisor:
         window = self._trap_window.setdefault(instance.name, [])
         if fresh:
             base = controller.module_base(instance)
-            active = {
-                block.offset
-                for feature_name in self.policy.features
-                for block in instance.engine.disabled_blocks(
-                    instance.root_pid, feature_name
-                )
-            }
-            hits = sum(1 for address in fresh if address - base in active)
+            hits = 0
+            pending = self._storm_pending.setdefault(instance.name, {})
+            for feature_name in self.policy.features:
+                active = {
+                    block.offset
+                    for block in instance.engine.disabled_blocks(
+                        instance.root_pid, feature_name
+                    )
+                }
+                hit_offsets = {
+                    address - base for address in fresh
+                    if address - base in active
+                }
+                if hit_offsets:
+                    hits += sum(
+                        1 for address in fresh if address - base in active
+                    )
+                    pending.setdefault(feature_name, set()).update(
+                        hit_offsets
+                    )
             if hits:
                 window.append((now, hits))
         horizon = now - self.policy.trap_storm_window_ns
         window[:] = [(t, h) for t, h in window if t >= horizon]
         if sum(h for __, h in window) < self.policy.trap_storm_threshold:
             return
-        self._demote(instance)
+        if self.policy.drift_action == "shelve":
+            self._shelve_storm(instance)
+        else:
+            self._demote(instance)
         window.clear()
+
+    def _shelve_storm(self, instance: FleetInstance) -> None:
+        """Shelve the storming blocks instead of demoting the instance.
+
+        The graceful breaker arm (``drift_action="shelve"``): only the
+        blocks that actually trapped come back into service; the rest
+        of the removal set keeps the instance debloated.  Overflowing
+        the policy's ``shelve_max_live_blocks`` budget still falls back
+        to a full demotion — at that point most of the feature is hot
+        and block-granular churn stops paying for itself.
+        """
+        pending = self._storm_pending.pop(instance.name, {})
+        for feature_name, offsets in sorted(pending.items()):
+            already = set(
+                instance.engine.shelved_offsets(
+                    instance.root_pid, feature_name
+                )
+            )
+            if len(already | offsets) > self.policy.shelve_max_live_blocks:
+                self._demote(instance)
+                return
+        shelved = 0
+        for feature_name, offsets in sorted(pending.items()):
+            report = self.controller.shelve_blocks(
+                instance, feature_name, sorted(offsets)
+            )
+            if report is not None:
+                shelved += len(offsets)
+        telemetry.count("breaker_shelves_total", instance=instance.name)
+        self._event(instance, "shelved", f"blocks={shelved}")
 
     def _demote(self, instance: FleetInstance) -> None:
         """Re-enable the features on this instance only; mark degraded."""
@@ -386,6 +434,7 @@ class FleetSupervisor:
         finally:
             controller.rejoin(instance)
         instance.degraded = True
+        self._storm_pending.pop(instance.name, None)
         self.breaker_trips[instance.name] = (
             self.breaker_trips.get(instance.name, 0) + 1
         )

@@ -1,0 +1,348 @@
+"""``shelve`` CLI — drifting-workload chaos for the shelving policies.
+
+Each seed runs the same three-phase workload against three fresh
+fleets, one per drift action, and compares what is left of the debloat
+at the end:
+
+* phase A ``[0, 3s)`` — wanted traffic only; the verify-mode removal
+  set stays cold;
+* phase B ``[3s, 8s)`` — the workload drifts: a seeded fraction of
+  requests exercises the removed ``dav-write`` feature (PUT), so the
+  verifier heals and logs the blocks it reaches;
+* phase C ``[8s, 12s)`` — the drift subsides; only the shelving policy
+  can win this phase back.
+
+Scenario verdicts (a campaign seed is **clean** only if all hold):
+
+* ``reenable`` — today's blunt policy: the first windowed burst rolls
+  the whole feature back fleet-wide and retention collapses to **0 %**
+  forever (the control the tentpole is measured against);
+* ``shelve`` — only the trapping blocks come back; the cold remainder
+  stays removed (retention stays positive all through the drift), and
+  once the drift subsides the decay sweep re-removes the shelf, so
+  final retention must recover to at least ``--retention-floor``
+  (default 60 %) with zero escalations;
+* ``recustomize`` — at least one adaptive narrowing round completes
+  with a non-empty narrowed set and **zero** ``dead_restores`` (a
+  trapped block the static classifier proved dead would mean one of
+  the two analyses is wrong), leaving retention positive.
+
+Every scenario must also lose **zero** requests: wanted traffic and
+the drifted PUT mix both serve throughout (``verify`` heals, shelving
+restores, nothing refuses), and the driver's accounting identity
+``total == served + failed`` holds with ``failed == 0``.
+
+``--check`` runs one quick seed (CI); ``--check-determinism`` runs the
+whole campaign twice and requires the committed report and the full
+event sidecar to be byte-identical.
+
+Usage::
+
+    python -m repro.tools.shelve_cli [--seeds 3] [--seed-base 900]
+        [--size 2] [--put-mix 0.35] [--output FILE]
+        [--check] [--check-determinism]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from random import Random
+
+from ..analysis.dataflow import analyze_image_flow
+from ..fleet import (
+    DriftDetector,
+    FleetController,
+    FleetPolicy,
+    RolloutExecutor,
+    get_app,
+)
+from ..fleet.apps import profile_feature
+from ..kernel import Kernel
+from ..telemetry import TelemetryHub, to_jsonl
+from ..workloads import (
+    HttpClient,
+    SECOND_NS,
+    TimelineEvent,
+    run_request_timeline,
+)
+from .campaign import run_recorded, write_results
+
+#: the removed feature the drifted mix exercises
+DRIFT_FEATURE = "dav-write"
+#: one isolated fleet per (seed, action); order fixes rng sub-seeds
+SCENARIOS = ("reenable", "shelve", "recustomize")
+#: phase boundaries (seconds of virtual time)
+DRIFT_START_S, DRIFT_END_S, DURATION_S = 3, 8, 12
+#: settle checks after the workload: lets the last shelf decay
+SETTLE_CHECKS = 2
+
+
+def removed_bytes(controller: FleetController) -> dict[str, int]:
+    """Per-instance bytes still durably patched out of the image."""
+    per_instance = {}
+    for instance in controller.instances:
+        total = 0
+        for feature_name in controller.policy.features:
+            blocks = instance.engine.disabled_blocks(
+                instance.root_pid, feature_name
+            )
+            total += sum(block.size for block in blocks)
+        per_instance[instance.name] = total
+    return per_instance
+
+
+def retention_pct(controller: FleetController, baseline: dict) -> float:
+    base = sum(baseline.values())
+    if not base:
+        return 0.0
+    return round(100.0 * sum(removed_bytes(controller).values()) / base, 4)
+
+
+def scenario_policy(action: str) -> FleetPolicy:
+    return FleetPolicy(
+        features=(DRIFT_FEATURE,),
+        trap_policy="verify",
+        block_mode="all",
+        strategy="rolling",
+        max_unavailable=1,
+        probe_requests=2,
+        drift_window_ns=4 * SECOND_NS,
+        drift_trap_threshold=4,
+        drift_action=action,
+        shelve_decay_ns=2 * SECOND_NS,
+        # the full PUT path is 24 blocks: the shelf must hold it without
+        # escalating (escalation is exercised by the unit tests instead)
+        shelve_max_live_blocks=32,
+    )
+
+
+def run_scenario(args, seed: int, action: str, hub: TelemetryHub) -> dict:
+    rng = Random(f"shelve:{seed}:{action}")
+    kernel = Kernel()
+    hub.bind_clock(lambda: kernel.clock_ns)
+    controller = FleetController(
+        kernel, "lighttpd", scenario_policy(action), size=args.size
+    )
+    controller.spawn_fleet()
+    rollout = RolloutExecutor(controller).run()
+    baseline = removed_bytes(controller)
+    detector = DriftDetector(controller)
+    app = controller.app
+
+    puts = {"issued": 0, "ok": 0}
+    start = kernel.clock_ns
+
+    def drifted_put() -> bool:
+        # PUT only — the adapter's feature_request would also DELETE,
+        # heating the *entire* removal set; the point of the drifted
+        # mix is that the DELETE half stays cold and stays removed
+        puts["issued"] += 1
+        client = HttpClient(kernel, controller.frontend_port)
+        path = f"/drift-{puts['issued']:05d}.txt"
+        return client.put(path, "x").status == 201
+
+    def request_once() -> bool:
+        ok = app.wanted_request(kernel, controller.frontend_port)
+        offset = kernel.clock_ns - start
+        in_drift = DRIFT_START_S * SECOND_NS <= offset < DRIFT_END_S * SECOND_NS
+        if in_drift and rng.random() < args.put_mix:
+            if drifted_put():
+                puts["ok"] += 1
+        return ok
+
+    snapshots: dict[str, float] = {}
+    events = [
+        TimelineEvent(
+            at_ns=second * SECOND_NS,
+            label=f"drift-check-{second}",
+            action=detector.check,
+        )
+        for second in range(1, DURATION_S)
+    ] + [
+        # strictly after the same-second drift check: the end-of-drift
+        # figure is measured on durable state, not pending heals
+        TimelineEvent(
+            at_ns=DRIFT_END_S * SECOND_NS + 1_000_000,
+            label="retention-at-drift-end",
+            action=lambda: snapshots.__setitem__(
+                "drift_end_pct", retention_pct(controller, baseline)
+            ),
+        )
+    ]
+    timeline = run_request_timeline(
+        kernel, request_once,
+        duration_ns=DURATION_S * SECOND_NS,
+        events=events,
+    )
+    # cooldown settle: with the workload stopped, every surviving shelf
+    # entry goes cold and the decay sweep must take it back
+    for __ in range(SETTLE_CHECKS):
+        kernel.clock_ns += controller.policy.shelve_decay_ns
+        detector.check()
+    final_pct = retention_pct(controller, baseline)
+    status = detector.status
+
+    served = sum(point.completed for point in timeline.points)
+    accounted = (
+        timeline.total_requests == served + timeline.failed_requests
+    )
+    no_loss = (
+        accounted
+        and timeline.failed_requests == 0
+        and not timeline.errors
+        and puts["issued"] > 0
+        and puts["ok"] == puts["issued"]
+    )
+    rounds = status.recustomize_rounds
+    if action == "reenable":
+        verdict = status.triggered and final_pct == 0.0
+    elif action == "shelve":
+        verdict = (
+            status.shelved_blocks > 0
+            and status.decayed_blocks > 0
+            and not status.escalated
+            and snapshots.get("drift_end_pct", 0.0) > 0.0
+            and final_pct >= args.retention_floor
+        )
+    else:  # recustomize
+        verdict = (
+            len(rounds) >= 1
+            and any(r["narrowed_blocks"] > 0 for r in rounds)
+            and all(r["dead_restores"] == 0 for r in rounds)
+            and final_pct > 0.0
+        )
+    return {
+        "seed": seed,
+        "action": action,
+        "ok": bool(rollout.completed and no_loss and verdict),
+        "rollout_completed": rollout.completed,
+        "accounted": accounted,
+        "baseline_removed_bytes": sum(baseline.values()),
+        "retained_drift_pct": snapshots.get("drift_end_pct"),
+        "retained_final_pct": final_pct,
+        "drift": status.to_dict(),
+        "workload": {
+            "total_requests": timeline.total_requests,
+            "served": served,
+            "failed_requests": timeline.failed_requests,
+            "errors": len(timeline.errors),
+            "puts_issued": puts["issued"],
+            "puts_ok": puts["ok"],
+        },
+        "clock_ns": kernel.clock_ns,
+    }
+
+
+def run_all(args) -> tuple[dict, list[TelemetryHub]]:
+    campaigns = []
+    hubs = []
+    for index in range(args.seeds):
+        seed = args.seed_base + index
+        for action in SCENARIOS:
+            campaign, hub = run_recorded(
+                f"shelve-{seed}-{action}",
+                lambda hub: run_scenario(args, seed, action, hub),
+            )
+            campaigns.append(campaign)
+            hubs.append(hub)
+            drift = campaign["drift"]
+            print(
+                f"seed {seed} [{action:>11}] "
+                f"{'ok' if campaign['ok'] else 'VIOLATED'}: "
+                f"retained {campaign['retained_drift_pct']}% during drift, "
+                f"{campaign['retained_final_pct']}% final; "
+                f"shelved {drift['shelved_blocks']} / "
+                f"decayed {drift['decayed_blocks']} blocks, "
+                f"{len(drift['recustomize_rounds'])} narrowing rounds, "
+                f"{campaign['workload']['puts_issued']} drifted PUTs, "
+                f"{campaign['workload']['failed_requests']} failed"
+            )
+    clean = all(campaign["ok"] for campaign in campaigns)
+    payload = {
+        "size": args.size,
+        "put_mix": args.put_mix,
+        "retention_floor_pct": args.retention_floor,
+        "drift_feature": DRIFT_FEATURE,
+        "scenarios": list(SCENARIOS),
+        "clean": clean,
+        "campaigns_total": len(campaigns),
+        "campaigns_ok": sum(1 for campaign in campaigns if campaign["ok"]),
+        "campaigns": campaigns,
+    }
+    return payload, hubs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="shelve")
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--seed-base", type=int, default=900)
+    parser.add_argument("--size", type=int, default=2,
+                        help="instances in each scenario fleet")
+    parser.add_argument("--put-mix", type=float, default=0.35,
+                        help="P(drifted PUT rides along) during phase B")
+    parser.add_argument("--retention-floor", type=float, default=60.0,
+                        help="min %% of removed bytes the shelve scenario "
+                             "must retain after cooldown")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("results/shelve_campaign.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="one quick seed (CI)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run twice; require byte-identical exports")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.check:
+        args.seeds = 1
+    if args.size < 2:
+        print("shelve: --size must be >= 2 (shelving is per-instance; "
+              "a one-instance fleet can't show the blast radius)")
+        return 2
+    if not 0.0 < args.put_mix <= 1.0:
+        print("shelve: --put-mix must be in (0, 1]")
+        return 2
+    # profiling, the dataflow flow-cache and the CFG cache are memoized
+    # process-wide; warm all three *outside* the recorded campaigns so
+    # the first and second runs emit identical telemetry (the
+    # recustomize scenario's classifier would otherwise give run one
+    # extra analysis spans)
+    app = get_app("lighttpd")
+    for feature in app.features:
+        profile_feature(app, feature)
+    scratch = Kernel()
+    app.stage(scratch, app.default_port)
+    for binary in scratch.binaries.values():
+        analyze_image_flow(binary)
+    warm = FleetController(
+        Kernel(), "lighttpd", scenario_policy("recustomize"), size=1
+    )
+    warm.spawn_fleet()
+    warm.instances[0].engine.refine_feature(warm.features[DRIFT_FEATURE])
+
+    payload, hubs = run_all(args)
+    if args.check_determinism:
+        replay_payload, replay_hubs = run_all(args)
+        summary = json.dumps(payload, sort_keys=True)
+        replay = json.dumps(replay_payload, sort_keys=True)
+        events = "".join(to_jsonl(hub) for hub in hubs)
+        replay_events = "".join(to_jsonl(hub) for hub in replay_hubs)
+        if summary != replay or events != replay_events:
+            print("DETERMINISM VIOLATED: re-run diverged "
+                  f"(report match={summary == replay}, "
+                  f"events match={events == replay_events})")
+            return 1
+        print(f"determinism: byte-identical re-export "
+              f"({len(events.splitlines())} events)")
+    return write_results(
+        args.output, payload, hubs, payload["clean"],
+        banner=f"({payload['campaigns_ok']}/{payload['campaigns_total']})",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

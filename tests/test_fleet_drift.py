@@ -6,11 +6,18 @@ from repro.fleet import (
     DriftDetector,
     FleetController,
     FleetPolicy,
+    FleetSupervisor,
+    HealthState,
     RolloutExecutor,
     get_app,
 )
 from repro.kernel import Kernel
-from repro.workloads import SECOND_NS, TimelineEvent, run_request_timeline
+from repro.workloads import (
+    HttpClient,
+    SECOND_NS,
+    TimelineEvent,
+    run_request_timeline,
+)
 
 
 def customized_fleet(size=2, **policy_kwargs):
@@ -149,3 +156,207 @@ class TestDriftEndToEnd:
         assert app.feature_request(
             kernel, controller.frontend_port, "dav-write"
         )
+
+
+# ----------------------------------------------------------------------
+# DynaShelve: drift_action="shelve" / "recustomize"
+
+
+def _put(kernel, port, serial) -> bool:
+    """One PUT — only the write half of dav-write, the DELETE half
+    stays cold (the adapter's feature_request would exercise both)."""
+    client = HttpClient(kernel, port)
+    return client.put(f"/drift-{serial:04d}.txt", "x").status == 201
+
+
+def _verify_fleet(**policy_kwargs):
+    policy_kwargs.setdefault("trap_policy", "verify")
+    policy_kwargs.setdefault("block_mode", "all")
+    policy_kwargs.setdefault("drift_trap_threshold", 2)
+    return customized_fleet(**policy_kwargs)
+
+
+def _removed(instance) -> list[int]:
+    return [
+        block.offset
+        for block in instance.engine.disabled_blocks(
+            instance.root_pid, "dav-write"
+        )
+    ]
+
+
+class TestShelveDrift:
+    def test_burst_shelves_only_the_trapping_blocks(self):
+        controller = _verify_fleet(
+            size=2, drift_action="shelve", shelve_max_live_blocks=64
+        )
+        detector = DriftDetector(controller)
+        target, other = controller.instances
+        baseline = len(_removed(target))
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        status = detector.status
+        assert status.shelve_rounds == 1
+        assert status.shelved_blocks > 0
+        shelf = target.engine.shelved_offsets(target.root_pid, "dav-write")
+        assert len(shelf) == status.shelved_blocks
+        # the cold half of the removal set stays patched...
+        assert 0 < len(_removed(target)) < baseline
+        assert len(_removed(target)) + len(shelf) == baseline
+        # ...the instance stays customized, in service, not degraded
+        assert target.customized and not target.degraded
+        # and the other instance is untouched
+        assert other.engine.shelved_offsets(other.root_pid, "dav-write") == []
+        assert len(_removed(other)) == baseline
+        # the shelved path now serves without trapping again
+        assert _put(controller.kernel, target.port, 2)
+        assert not detector.check()
+        assert detector.status.shelved_blocks == status.shelved_blocks
+
+    def test_shelving_surfaces_in_controller_status(self):
+        controller = _verify_fleet(
+            size=2, drift_action="shelve", shelve_max_live_blocks=64
+        )
+        detector = DriftDetector(controller)
+        target = controller.instances[0]
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        status = controller.status()
+        entry = next(
+            i for i in status["instances"] if i["name"] == target.name
+        )
+        assert entry["shelved_blocks"]["dav-write"] > 0
+        assert status["drift"]["shelve_rounds"] == 1
+        assert status["drift"]["shelved_blocks"] > 0
+
+    def test_cold_shelf_decays_back(self):
+        controller = _verify_fleet(
+            size=2, drift_action="shelve", shelve_max_live_blocks=64,
+            shelve_decay_ns=2 * SECOND_NS,
+        )
+        detector = DriftDetector(controller)
+        target = controller.instances[0]
+        baseline = len(_removed(target))
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        shelved = detector.status.shelved_blocks
+        # cold for longer than the decay window: the sweep re-removes
+        controller.kernel.clock_ns += 3 * SECOND_NS
+        detector.check()
+        assert detector.status.decayed_blocks == shelved
+        assert target.engine.shelved_offsets(target.root_pid, "dav-write") == []
+        assert len(_removed(target)) == baseline
+        # the disabling session's handler tables survived: a decayed
+        # block heals (and re-shelves) when the traffic returns
+        assert _put(controller.kernel, target.port, 2)
+        assert detector.check()
+        assert detector.status.shelve_rounds == 2
+
+    def test_hot_shelf_does_not_decay(self):
+        controller = _verify_fleet(
+            size=2, drift_action="shelve", shelve_max_live_blocks=64,
+            shelve_decay_ns=60 * SECOND_NS,
+        )
+        detector = DriftDetector(controller)
+        target = controller.instances[0]
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        controller.kernel.clock_ns += 3 * SECOND_NS
+        detector.check()
+        assert detector.status.decayed_blocks == 0
+        assert target.engine.shelved_offsets(target.root_pid, "dav-write")
+
+    def test_shelf_overflow_escalates_to_local_reenable(self):
+        # the PUT path is wider than the shelf cap: block-granular
+        # patching is not worth the churn, fall back to a full local
+        # re-enable and mark the instance degraded
+        controller = _verify_fleet(
+            size=2, drift_action="shelve", shelve_max_live_blocks=4
+        )
+        detector = DriftDetector(controller)
+        target, other = controller.instances
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        status = detector.status
+        assert status.escalated == [target.name]
+        assert target.degraded and not target.customized
+        assert target.engine.shelved_offsets(target.root_pid, "dav-write") == []
+        # blast radius is one instance: the rest of the fleet keeps
+        # its full removal set
+        assert other.customized and not other.degraded
+
+
+class TestRecustomizeDrift:
+    def test_first_round_narrows_only_the_drifted_instance(self):
+        controller = _verify_fleet(size=2, drift_action="recustomize")
+        detector = DriftDetector(controller)
+        target, other = controller.instances
+        baseline = len(_removed(target))
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        rounds = detector.status.recustomize_rounds
+        assert len(rounds) == 1
+        entry = rounds[0]
+        assert entry["scope"] == "instance"
+        assert entry["instances"] == [target.name]
+        assert 0 < entry["narrowed_blocks"] < baseline
+        assert entry["dead_restores"] == 0
+        # the drifted instance runs the narrowed set, the other still
+        # runs the full one
+        assert len(_removed(target)) == entry["narrowed_blocks"]
+        assert len(_removed(other)) == baseline
+        # the narrowed instance serves the drifted path trap-free
+        seen = target.traps_seen
+        assert _put(controller.kernel, target.port, 2)
+        assert not detector.check()
+        assert target.traps_seen == seen
+
+    def test_second_round_rolls_out_fleet_wide(self):
+        controller = _verify_fleet(size=2, drift_action="recustomize")
+        detector = DriftDetector(controller)
+        target, other = controller.instances
+        baseline = len(_removed(target))
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        # the same drifted mix hits an instance still running the full
+        # set: the narrowed set "still storms", round 2 goes fleet-wide
+        assert _put(controller.kernel, other.port, 2)
+        assert detector.check()
+        rounds = detector.status.recustomize_rounds
+        assert [r["scope"] for r in rounds] == ["instance", "fleet"]
+        narrowed = rounds[1]["narrowed_blocks"]
+        assert 0 < narrowed < baseline
+        assert rounds[1]["dead_restores"] == 0
+        # the narrowed set is now the fleet's removal set, everywhere
+        assert len(controller.features["dav-write"].blocks) == narrowed
+        for instance in controller.instances:
+            assert len(_removed(instance)) == narrowed
+            assert instance.customized
+
+
+class TestHealthSegregation:
+    def test_quarantined_instance_traps_are_not_drift(self):
+        # regression: a recovery replaying committed state re-executes
+        # removed code; with drift_trap_threshold=1 that single trap
+        # used to re-enable the feature fleet-wide
+        controller = _verify_fleet(size=2, drift_trap_threshold=1)
+        supervisor = FleetSupervisor(controller)
+        detector = DriftDetector(controller)
+        target = controller.instances[0]
+        supervisor.records[target.name].state = HealthState.QUARANTINED
+        assert _put(controller.kernel, target.port, 1)
+        assert not detector.check()
+        assert detector.status.events == []
+        assert detector.status.segregated_traps > 0
+        assert not detector.status.triggered
+        assert all(i.customized for i in controller.instances)
+
+    def test_healthy_instance_traps_still_count(self):
+        controller = _verify_fleet(size=2, drift_trap_threshold=1)
+        FleetSupervisor(controller)
+        detector = DriftDetector(controller)
+        target = controller.instances[0]
+        assert _put(controller.kernel, target.port, 1)
+        assert detector.check()
+        assert detector.status.triggered
+        assert detector.status.segregated_traps == 0

@@ -37,6 +37,9 @@ class TestFleetPolicy:
         {"drift_window_ns": 0},
         {"drift_trap_threshold": 0},
         {"drift_action": "panic"},
+        {"shelve_decay_ns": 0},
+        {"shelve_decay_ns": -1},
+        {"shelve_max_live_blocks": 0},
         {"block_mode": "everything"},
         {"heartbeat_interval_ns": 0},
         {"heartbeat_interval_ns": -1},
@@ -69,6 +72,22 @@ class TestFleetPolicy:
         )
         assert FleetPolicy.from_dict(policy.to_dict()) == policy
         assert policy.failover_budget == 2
+
+    def test_shelve_knobs_roundtrip(self):
+        policy = FleetPolicy(
+            features=("f",), drift_action="shelve",
+            shelve_decay_ns=3_000_000_000, shelve_max_live_blocks=16,
+        )
+        payload = policy.to_dict()
+        assert payload["drift_action"] == "shelve"
+        assert payload["shelve_decay_ns"] == 3_000_000_000
+        assert payload["shelve_max_live_blocks"] == 16
+        assert FleetPolicy.from_dict(payload) == policy
+
+    def test_adaptive_drift_actions_accepted(self):
+        for action in ("shelve", "recustomize"):
+            policy = FleetPolicy(features=("f",), drift_action=action)
+            assert policy.drift_action == action
 
     def test_mesh_knobs_roundtrip(self):
         policy = FleetPolicy(

@@ -20,6 +20,7 @@ from repro.fleet import (
     inject_chaos,
 )
 from repro.kernel import Kernel
+from repro.workloads import HttpClient
 
 
 def make_supervised(size=2, customize=True, **policy_kwargs):
@@ -392,3 +393,60 @@ class TestInjectChaos:
         # live ones
         with plan:
             assert inject_chaos(controller) == []
+
+
+# ----------------------------------------------------------------------
+# the breaker's shelve arm (drift_action="shelve")
+
+
+class TestStormShelving:
+    def _storm_fleet(self, **policy_kwargs):
+        policy_kwargs.setdefault("trap_policy", "verify")
+        policy_kwargs.setdefault("block_mode", "all")
+        policy_kwargs.setdefault("trap_storm_threshold", 4)
+        policy_kwargs.setdefault("drift_action", "shelve")
+        return make_supervised(size=2, **policy_kwargs)
+
+    def _storm_put(self, controller, instance) -> bool:
+        # one PUT on a verify-mode ALL removal heals (and logs) every
+        # block of the PUT path at once: an instant storm
+        client = HttpClient(controller.kernel, instance.port)
+        return client.put("/storm.txt", "x").status == 201
+
+    def test_storm_shelves_instead_of_demoting(self):
+        controller, sup = self._storm_fleet(shelve_max_live_blocks=64)
+        victim, other = controller.instance(0), controller.instance(1)
+        assert self._storm_put(controller, victim)
+        sup.tick(force=True)
+        shelvings = [e for e in sup.events if e.kind == "shelved"]
+        assert [e.instance for e in shelvings] == [victim.name]
+        assert not any(e.kind == "demoted" for e in sup.events)
+        # the victim keeps its customization minus the storming blocks
+        assert victim.customized and not victim.degraded
+        shelf = victim.engine.shelved_offsets(victim.root_pid, "dav-write")
+        assert shelf
+        assert victim.engine.disabled_blocks(victim.root_pid, "dav-write")
+        assert victim.port in controller.pool.in_service()
+        # blast radius: the quiet instance is untouched
+        assert other.engine.shelved_offsets(other.root_pid, "dav-write") == []
+
+    def test_storm_wider_than_the_shelf_cap_still_demotes(self):
+        controller, sup = self._storm_fleet(shelve_max_live_blocks=4)
+        victim = controller.instance(0)
+        assert self._storm_put(controller, victim)
+        sup.tick(force=True)
+        assert any(e.kind == "demoted" for e in sup.events)
+        assert not any(e.kind == "shelved" for e in sup.events)
+        assert victim.degraded and not victim.customized
+        assert victim.engine.shelved_offsets(victim.root_pid, "dav-write") == []
+
+    def test_reenable_policy_still_demotes(self):
+        # the pre-shelving breaker behaviour is the default, unchanged
+        controller, sup = self._storm_fleet(drift_action="reenable",
+                                            shelve_max_live_blocks=64)
+        victim = controller.instance(0)
+        assert self._storm_put(controller, victim)
+        sup.tick(force=True)
+        assert any(e.kind == "demoted" for e in sup.events)
+        assert not any(e.kind == "shelved" for e in sup.events)
+        assert victim.degraded and not victim.customized

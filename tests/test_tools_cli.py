@@ -255,3 +255,26 @@ class TestFleetCli:
                 "rollout", "--size", "2", "--fault", "bogus.site",
                 "--output", str(tmp_path / "x.json"),
             ])
+
+
+class TestShelveCli:
+    # the full campaign runs as its own CI job (shelve-chaos); here we
+    # only pin the argument contract
+    def test_single_instance_fleet_rejected(self, capsys):
+        from repro.tools import shelve_cli
+
+        assert shelve_cli.main(["--size", "1"]) == 2
+        assert "--size must be >= 2" in capsys.readouterr().out
+
+    def test_put_mix_bounds_rejected(self, capsys):
+        from repro.tools import shelve_cli
+
+        assert shelve_cli.main(["--put-mix", "0"]) == 2
+        assert shelve_cli.main(["--put-mix", "1.5"]) == 2
+
+    def test_check_mode_collapses_to_one_seed(self):
+        from repro.tools import shelve_cli
+
+        parser = shelve_cli.build_parser()
+        args = parser.parse_args(["--check"])
+        assert args.check and args.seeds == 3  # collapsed inside main()
