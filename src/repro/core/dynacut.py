@@ -29,6 +29,7 @@ from enum import Enum
 from typing import Callable
 
 from .. import faults, telemetry
+from ..telemetry import trace
 from ..analysis.dataflow.liveness import live_in_registers
 from ..analysis.lint import LintReport, lint_checkpoint
 from ..analysis.reachability import RemovalClassification, refine_removal_set
@@ -432,6 +433,10 @@ class DynaCut:
     def _publish_report(self, report: RewriteReport, why: str = "") -> None:
         """Push one session's outcome into the telemetry substrate."""
         now = self.kernel.clock_ns
+        # credit the transaction's cost to the request currently being
+        # traced (the one stalled behind this rewrite), committed or not
+        # — a rolled-back attempt still stalled the service
+        trace.note_rewrite(report.total_ns)
         telemetry.count("customize_total", outcome=report.outcome)
         telemetry.count("customize_attempts_total", report.attempts)
         telemetry.emit(

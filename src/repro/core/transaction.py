@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import faults, telemetry
+from ..telemetry import trace
 from .rewriter import RewriteError
 
 PHASE_BEGIN = "begin"
@@ -120,9 +121,13 @@ class TxJournal:
         if phase == PHASE_BEGIN and self.op != "customize" and not note:
             note = f"op={self.op}"
         self.entries.append(JournalEntry(phase, attempt, clock_ns, note))
+        context = trace.current()
+        extra: dict[str, object] = (
+            {"trace_id": context.trace_id} if context is not None else {}
+        )
         telemetry.emit(
             "journal", phase, clock_ns=clock_ns, attempt=attempt, note=note,
-            op=self.op,
+            op=self.op, **extra,
         )
         telemetry.count("journal_phase_total", phase=phase)
         # journal appends are modelled atomic; see module docstring

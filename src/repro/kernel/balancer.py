@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ..telemetry import trace
+
 
 class NetworkError(Exception):
     """Host-level misuse of the network API."""
@@ -173,6 +175,7 @@ class MemberPool:
                 return member
             self.mark_down(member)
             self.note_failover(member)
+            trace.note_member_failover()
         raise NoBackendAvailable(
             f"connection refused: failover budget ({self.failover_budget}) "
             f"exhausted behind {self.label}"

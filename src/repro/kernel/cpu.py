@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 from ..isa.encoding import DecodeError, decode
 from ..isa.instructions import BLOCK_TERMINATORS
+from ..telemetry import trace
 from .memory import MemoryFault, PAGE_SIZE
 from .process import Process, SP
 from .signals import (
@@ -256,6 +257,13 @@ class CPU:
 
         # close the current (partial) trace block at the interruption point
         self._emit_block(proc, proc.regs.rip)
+
+        if signal is Signal.SIGTRAP:
+            # open a per-request trap window: delivery (incl. the frame
+            # cost added below) through the handler's rt_sigreturn
+            trace.note_trap_delivered(
+                proc.pid, self.kernel.clock_ns, pending.fault_address
+            )
 
         regs = proc.regs
         new_sp = (regs.gpr[SP] - (8 + FRAME_SIZE)) & ~0xF

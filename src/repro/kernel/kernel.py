@@ -112,6 +112,9 @@ class Kernel:
         self.clock_ns = 0
         self.fs = InMemoryFS()
         self.net = NetworkStack()
+        # the stack has no kernel reference; give it a clock reader so
+        # balancer route resolution can open request-trace spans
+        self.net.clock = lambda: self.clock_ns
         self.binaries: dict[str, SelfImage] = {}
         self.processes: dict[int, Process] = {}
         self._next_pid = 100

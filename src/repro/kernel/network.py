@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from .. import telemetry
+from ..telemetry import trace
 from .balancer import MemberPool, NetworkError, NoBackendAvailable
 from .process import Descriptor
 
@@ -178,6 +180,9 @@ class NetworkStack:
         self.connections: dict[int, Connection] = {}
         self.frontends: dict[int, BackendPool] = {}
         self._next_conn_id = 1
+        #: virtual-clock reader bound by the owning kernel; lets route
+        #: resolution stamp request-trace spans on the right clock
+        self.clock: Callable[[], int] | None = None
 
     # ------------------------------------------------------------------
     # guest-side operations (invoked by syscalls)
@@ -289,7 +294,12 @@ class NetworkStack:
         """
         pool = self.frontends.get(port)
         if pool is not None:
-            port = self._route(pool)
+            with trace.aux_span(
+                "route", "route", clock=self.clock, frontend=port
+            ) as span:
+                port = self._route(pool)
+                if span is not None:
+                    span.attrs["backend"] = port
         listener = self.ports.get(port)
         if listener is None or listener.closed:
             raise NetworkError(f"connection refused: port {port}")

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from enum import IntEnum
 from typing import TYPE_CHECKING, Callable
 
+from ..telemetry import trace
 from .filesystem import FileHandle
 from .memory import MemoryFault
 from .network import Endpoint, SocketDescriptor
@@ -456,6 +457,8 @@ class SyscallTable:
                 proc.regs.gpr[index] = _read_u64(proc, frame + FRAME_REGS + 8 * index)
         except MemoryFault:
             self.kernel.terminate(proc, signal=Signal.SIGSEGV)
+            return None
+        trace.note_trap_returned(proc.pid, self.kernel.clock_ns)
         return None
 
     # ------------------------------------------------------------------

@@ -31,7 +31,7 @@ from .. import faults, telemetry
 from ..fleet.apps import FleetApp, get_app
 from ..fleet.drift import DriftDetector
 from ..fleet.policy import FleetPolicy
-from ..kernel.balancer import NoBackendAvailable
+from ..kernel.balancer import NetworkError, NoBackendAvailable
 from ..kernel.kernel import Kernel, KernelConfig
 from ..workloads import RedisClient
 from .frontend import Frontend
@@ -245,6 +245,28 @@ class MeshController:
             return True
 
         return self.frontend.dispatch(request, key=key)
+
+    def probe_replicas(self, command: str = "SET __probe__ 1") -> int:
+        """Issue ``command`` once to every live replica, on every shard.
+
+        Bypasses the frontend tier entirely — no ``issued`` accounting —
+        so control-plane sweeps (e.g. a trace campaign's heal sweep,
+        which drives one SET into each replica to heal every shelved
+        block at a known clock offset) do not perturb the request-count
+        identity the data path is measured under.  Returns the number of
+        replicas probed.
+        """
+        probed = 0
+        for host in self.hosts:
+            for instance in host.controller.instances:
+                if not host.controller.alive(instance):
+                    continue
+                try:
+                    self._client(host, instance.port).command(command)
+                except NetworkError:
+                    continue  # a dying replica is the supervisor's job
+                probed += 1
+        return probed
 
     def fetch(self, key: str) -> str | None:
         """Read ``key`` from its owning shard (data-locality checks)."""

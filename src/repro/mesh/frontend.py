@@ -33,6 +33,7 @@ from collections.abc import Callable, Iterator
 
 from .. import faults, telemetry
 from ..kernel.balancer import MemberPool, NoBackendAvailable
+from ..telemetry import trace
 from .host import Host, MeshError
 from .ring import HashRing
 
@@ -135,18 +136,30 @@ class Frontend:
         hops = 0
         candidates = self._candidates(key)
         last_error: Exception | None = None
+        primary: str | None = None
         while hops <= self.pool.failover_budget:
             try:
                 host = next(candidates)
             except (StopIteration, NoBackendAvailable) as exc:
                 last_error = exc
                 break
+            if primary is None:
+                primary = host.name
             try:
-                faults.trip("mesh.host_unreachable", detail=host.name)
-                # the intra-host leg (balancer dispatch, app service)
-                # emits under the shard's label
-                with telemetry.label_scope(shard=host.name):
-                    result = request(host)
+                # each leg is timed on the *serving host's* kernel clock
+                # (the only clock its guest work advances); a leg that
+                # fails with a routing error is attributed as a paid hop
+                with trace.leg_span(
+                    "mesh.hop",
+                    clock=(lambda kernel=host.kernel: kernel.clock_ns),
+                    shard=host.name,
+                    hop=hops,
+                ):
+                    faults.trip("mesh.host_unreachable", detail=host.name)
+                    # the intra-host leg (balancer dispatch, app service)
+                    # emits under the shard's label
+                    with telemetry.label_scope(shard=host.name):
+                        result = request(host)
             except NoBackendAvailable as exc:
                 # nothing serving on that whole shard: dead machine
                 self.mark_host_down(host.index)
@@ -177,7 +190,11 @@ class Frontend:
             self._account_delivery(host, hops)
             return result
         self.shed += 1
-        telemetry.count("mesh_shed_total")
+        # shed requests keep their per-shard identity: attribute them to
+        # the primary candidate (the shard that *would* have served) so
+        # they do not vanish from per-shard breakdowns
+        telemetry.count("mesh_shed_total", shard=primary or "none")
+        trace.tag_outcome("shed")
         raise NoBackendAvailable(
             f"connection refused: mesh failover budget "
             f"({self.pool.failover_budget}) exhausted "
@@ -192,8 +209,10 @@ class Frontend:
         telemetry.count("mesh_dispatch_total", shard=host.name)
         if hops == 0:
             self.served += 1
+            trace.tag_outcome("served")
         else:
             self.failed_over += 1
+            trace.tag_outcome("failed_over")
 
     @property
     def accounted(self) -> bool:

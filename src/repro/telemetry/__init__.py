@@ -37,11 +37,15 @@ from contextlib import contextmanager, nullcontext
 from typing import Callable, Iterator
 
 from .export import (
+    attribute_traces,
     parse_prometheus,
+    percentile,
     prometheus_snapshot,
     read_jsonl,
+    read_trace_jsonl,
     summarize_events,
     to_jsonl,
+    to_trace_jsonl,
 )
 from .hub import TelemetryEvent, TelemetryHub
 from .registry import (
@@ -51,6 +55,14 @@ from .registry import (
     MetricsRegistry,
     TimeSeries,
     labelset,
+    quantile_from_buckets,
+)
+from .trace import (
+    PHASES,
+    RequestTracer,
+    TraceContext,
+    TraceError,
+    TraceSpan,
 )
 from .tracer import Span, SpanTracer
 
@@ -138,16 +150,22 @@ def label_scope(**labels: object):
 
 
 __all__ = [
+    "PHASES",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestTracer",
     "Span",
     "SpanTracer",
     "TelemetryError",
     "TelemetryEvent",
     "TelemetryHub",
     "TimeSeries",
+    "TraceContext",
+    "TraceError",
+    "TraceSpan",
+    "attribute_traces",
     "count",
     "emit",
     "gauge_set",
@@ -156,11 +174,15 @@ __all__ = [
     "labelset",
     "observe",
     "parse_prometheus",
+    "percentile",
     "prometheus_snapshot",
+    "quantile_from_buckets",
     "read_jsonl",
+    "read_trace_jsonl",
     "recording",
     "sample",
     "span",
     "summarize_events",
     "to_jsonl",
+    "to_trace_jsonl",
 ]

@@ -19,10 +19,13 @@ virtual-clock timestamps, so equal seeds produce byte-identical files.
 
 from __future__ import annotations
 
-from typing import Iterable
+import json
+import math
+from typing import Iterable, Sequence
 
 from .hub import TelemetryEvent, TelemetryHub
-from .registry import MetricsRegistry, labels_text
+from .registry import SUMMARY_QUANTILES, MetricsRegistry, labels_text
+from .trace import PHASES, RequestTracer, TraceSpan, leg_phase
 
 
 # ----------------------------------------------------------------------
@@ -40,10 +43,34 @@ def to_jsonl(hub_or_events: TelemetryHub | Iterable[TelemetryEvent]) -> str:
 
 def read_jsonl(text: str) -> list[TelemetryEvent]:
     """Parse a JSONL event stream back into events."""
-    import json
-
     return [
         TelemetryEvent.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+# ----------------------------------------------------------------------
+# request-trace stream
+
+def to_trace_jsonl(source: RequestTracer | Iterable[TraceSpan]) -> str:
+    """Render finished request traces as one span object per line.
+
+    Spans are ordered by ``(trace_id, span_id)`` and serialized with
+    sorted keys and sorted attrs, so equal seeds export byte-identical
+    trace streams (the ``--check-determinism`` contract).
+    """
+    spans = source.spans() if isinstance(source, RequestTracer) else source
+    return "".join(
+        json.dumps(span.to_dict(), sort_keys=True, default=str) + "\n"
+        for span in spans
+    )
+
+
+def read_trace_jsonl(text: str) -> list[TraceSpan]:
+    """Parse a trace stream back into spans."""
+    return [
+        TraceSpan.from_dict(json.loads(line))
         for line in text.splitlines()
         if line.strip()
     ]
@@ -84,6 +111,19 @@ def prometheus_snapshot(registry: MetricsRegistry, prefix: str = "dynacut_") -> 
         sample_lines.append(f"{family}_sum{labels_text(labels)} {hist.total:g}")
         sample_lines.append(f"{family}_count{labels_text(labels)} {hist.count}")
         add(family, "histogram", sample_lines)
+        if hist.count:
+            # estimated quantiles ride along as a sibling gauge family
+            # (own TYPE header, so the strict parser round-trips them)
+            qfamily = family + "_quantile"
+            qlines = []
+            for q in SUMMARY_QUANTILES:
+                qlabels = dict(labels)
+                qlabels["q"] = f"{q:g}"
+                rendered = labels_text(tuple(sorted(qlabels.items())))
+                value = hist.quantile(q)
+                assert value is not None
+                qlines.append(f"{qfamily}{rendered} {value:g}")
+            add(qfamily, "gauge", qlines)
 
     out: list[str] = []
     for family in sorted(families):
@@ -125,6 +165,139 @@ def parse_prometheus(text: str) -> dict[str, float]:
             raise ValueError(f"line {lineno}: sample without TYPE header: {line!r}")
         values[key] = float(raw)
     return values
+
+
+# ----------------------------------------------------------------------
+# critical-path attribution over request traces
+
+def percentile(values: Sequence[int | float], q: float) -> float:
+    """Exact nearest-rank percentile over raw per-request values.
+
+    This is what campaign p99s are computed from — the sorted list of
+    per-request ``wall_ns`` values, **not** a bucketed aggregate — so
+    the reported tail latency is a value some request actually paid.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile must be in [0, 1], got {q}")
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def _recompute_phases(
+    spans: list[TraceSpan], children: dict[int, list[TraceSpan]]
+) -> dict[str, int]:
+    """Re-derive the phase decomposition structurally from a span tree.
+
+    Independent of the incremental accounting
+    :class:`~repro.telemetry.trace.TraceContext` performs as spans
+    close — agreeing with it on every request is the accounting
+    identity :func:`attribute_traces` enforces.
+    """
+    phases = {phase: 0 for phase in PHASES}
+    for span in spans:
+        kids = children.get(span.span_id, [])
+        inner = sum(kid.duration_ns for kid in kids)
+        self_ns = max(0, span.duration_ns - inner)
+        if span.name == "request":
+            continue  # the root's own time is its children's
+        if span.name == "trap":
+            phases["trap"] += span.duration_ns
+        elif span.name == "stall":
+            rewrite_ns = min(int(span.attrs.get("rewrite_ns", 0)), self_ns)
+            phases["rewrite-stall"] += rewrite_ns
+            phases["control"] += self_ns - rewrite_ns
+        elif "phase" in span.attrs:
+            phases[str(span.attrs["phase"])] += self_ns
+        else:
+            # a leg: dispatch / mesh.hop; one that wrapped cross-host
+            # hop legs is plumbing across clock domains — no self-time
+            if any(kid.name == "mesh.hop" for kid in kids):
+                continue
+            phases[leg_phase(span.name, span.status)] += self_ns
+    return phases
+
+
+def attribute_traces(source: RequestTracer | Iterable[TraceSpan]) -> dict:
+    """Decompose every traced request's wall time into named phases.
+
+    Returns ``{"requests": [...], "summary": {...}}`` where each request
+    record carries the recomputed phase decomposition and its identity
+    verdict: the structural recomputation must equal the phases the
+    live context recorded, and their sum must equal the recorded
+    ``wall_ns``.  The summary aggregates phase totals, outcome counts,
+    and exact nearest-rank latency percentiles over per-request walls.
+    """
+    spans = list(source.spans() if isinstance(source, RequestTracer) else source)
+    by_trace: dict[int, list[TraceSpan]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+
+    records = []
+    walls: list[int] = []
+    phase_totals = {phase: 0 for phase in PHASES}
+    outcomes: dict[str, int] = {}
+    violations = 0
+    for trace_id in sorted(by_trace):
+        tree = sorted(by_trace[trace_id], key=lambda span: span.span_id)
+        roots = [span for span in tree if span.parent_id is None]
+        if len(roots) != 1 or roots[0].name != "request":
+            raise ValueError(f"trace {trace_id} has no unique request root")
+        root = roots[0]
+        children: dict[int, list[TraceSpan]] = {}
+        for span in tree:
+            if span.parent_id is not None:
+                children.setdefault(span.parent_id, []).append(span)
+        computed = _recompute_phases(tree, children)
+        recorded = {phase: 0 for phase in PHASES}
+        recorded.update({
+            str(k): int(v)
+            for k, v in dict(root.attrs.get("phases", {})).items()
+        })
+        wall_ns = int(root.attrs["wall_ns"])
+        identity_ok = (
+            computed == recorded and sum(computed.values()) == wall_ns
+        )
+        violations += 0 if identity_ok else 1
+        outcome = str(root.attrs.get("outcome", "ok"))
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        walls.append(wall_ns)
+        for phase, ns in computed.items():
+            phase_totals[phase] += ns
+        records.append({
+            "trace_id": trace_id,
+            "start_ns": root.start_ns,
+            "outcome": outcome,
+            "ok": bool(root.attrs.get("ok", True)),
+            "wall_ns": wall_ns,
+            "observed_ns": int(root.attrs.get("observed_ns", root.duration_ns)),
+            "phases": {k: v for k, v in sorted(computed.items()) if v},
+            "traps": int(root.attrs.get("traps", 0)),
+            "hops": int(root.attrs.get("hops", 0)),
+            "identity_ok": identity_ok,
+        })
+
+    summary = {
+        "requests": len(records),
+        "identity_violations": violations,
+        "outcomes": dict(sorted(outcomes.items())),
+        "phase_totals_ns": {
+            phase: phase_totals[phase] for phase in PHASES
+        },
+        "latency_ns": (
+            {
+                "p50": percentile(walls, 0.5),
+                "p95": percentile(walls, 0.95),
+                "p99": percentile(walls, 0.99),
+                "max": float(max(walls)),
+                "mean": sum(walls) / len(walls),
+            }
+            if walls else None
+        ),
+    }
+    return {"requests": records, "summary": summary}
 
 
 # ----------------------------------------------------------------------

@@ -172,5 +172,7 @@ class TelemetryHub:
             parent=span.parent,
             depth=span.depth,
             status=span.status,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
             **span.attrs,
         )

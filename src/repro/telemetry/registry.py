@@ -38,6 +38,55 @@ def labelset(labels: dict[str, object]) -> LabelSet:
     return tuple(sorted((key, str(value)) for key, value in labels.items()))
 
 
+#: the quantiles summaries and the Prometheus snapshot report
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def quantile_from_buckets(
+    bounds: tuple[int, ...],
+    bucket_counts: list[int],
+    count: int,
+    q: float,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> float:
+    """Prometheus-style bucketed quantile (linear within a bucket).
+
+    ``bucket_counts`` has one slot per finite bound plus the trailing
+    +Inf slot.  The target rank ``q * count`` is located in the first
+    bucket whose cumulative count covers it and interpolated linearly
+    between the bucket's edges; a rank landing in +Inf returns ``hi``
+    (the observed max) when known, else the last finite bound.  The
+    result is clamped to the observed ``[lo, hi]`` range so small
+    samples report values that actually occurred near the extremes —
+    this is what lets tests pin exact quantiles on known observations.
+    Raises on an empty distribution (callers gate on ``count``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        raise ValueError("cannot take a quantile of an empty histogram")
+    rank = q * count
+    running = 0
+    prev_bound = 0.0
+    value: float | None = None
+    for bound, n in zip(bounds, bucket_counts):
+        if n > 0 and running + n >= rank:
+            fraction = max(0.0, rank - running) / n
+            value = prev_bound + (float(bound) - prev_bound) * fraction
+            break
+        running += n
+        prev_bound = float(bound)
+    if value is None:
+        # the rank lives in the +Inf overflow bucket
+        value = hi if hi is not None else prev_bound
+    if lo is not None:
+        value = max(value, lo)
+    if hi is not None:
+        value = min(value, hi)
+    return value
+
+
 def labels_text(labels: LabelSet) -> str:
     """``{k="v",...}`` rendering (empty string for no labels)."""
     if not labels:
@@ -107,6 +156,20 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile, or None while empty.
+
+        Bucket-interpolated (see :func:`quantile_from_buckets`) and
+        clamped to the observed min/max, so ``quantile(0.0) == min``
+        and ``quantile(1.0) == max`` exactly.
+        """
+        if self.count == 0:
+            return None
+        return quantile_from_buckets(
+            self.bounds, self.bucket_counts, self.count, q,
+            lo=self.min, hi=self.max,
+        )
 
     def cumulative_buckets(self) -> list[tuple[str, int]]:
         """Prometheus-style cumulative ``(le, count)`` pairs."""
@@ -237,6 +300,10 @@ class MetricsRegistry:
                     "min": hist.min,
                     "max": hist.max,
                     "mean": hist.mean,
+                    **{
+                        f"p{int(q * 100)}": hist.quantile(q)
+                        for q in SUMMARY_QUANTILES
+                    },
                 }
                 for (name, labels), hist in sorted(self.histograms.items())
             },

@@ -6,9 +6,11 @@ in practice ``lambda: kernel.clock_ns`` — so traces are replayable:
 the same seed yields the same span boundaries, byte for byte.
 
 Spans nest: the tracer keeps an explicit stack, and each finished span
-records its parent's name and its depth, enough to reconstruct the
-tree from a flat event stream.  A span that exits through an exception
-is still closed (and marked ``status="error"``), which is exactly the
+records a **structural** ``span_id``/``parent_id`` pair (monotonic
+counters, so sibling spans with the same name stay distinct in
+reconstructions) along with its parent's *name* and its depth for
+human-readable streams.  A span that exits through an exception is
+still closed (and marked ``status="error"``), which is exactly the
 rollback path the transaction engine needs visible.
 """
 
@@ -26,10 +28,15 @@ class Span:
     name: str
     start_ns: int
     end_ns: int | None = None
+    #: the parent's *name* (display only; names can repeat — use
+    #: ``parent_id`` for structural reconstruction)
     parent: str | None = None
     depth: int = 0
     status: str = "ok"
     attrs: dict[str, object] = field(default_factory=dict)
+    #: structural identity, allocated monotonically by the tracer
+    span_id: int = 0
+    parent_id: int | None = None
 
     @property
     def duration_ns(self) -> int:
@@ -51,6 +58,8 @@ class Span:
             "depth": self.depth,
             "status": self.status,
             "attrs": dict(sorted(self.attrs.items())),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
         }
 
 
@@ -60,6 +69,7 @@ class SpanTracer:
     def __init__(self, clock: Callable[[], int] | None = None):
         self._clock = clock
         self._stack: list[Span] = []
+        self._next_span_id = 1
         self.finished: list[Span] = []
         #: called with each finished span (the hub turns it into an
         #: event + a duration-histogram observation)
@@ -91,7 +101,10 @@ class SpanTracer:
             parent=self._stack[-1].name if self._stack else None,
             depth=len(self._stack),
             attrs=dict(attrs),
+            span_id=self._next_span_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
         )
+        self._next_span_id += 1
         self._stack.append(span)
         try:
             yield span

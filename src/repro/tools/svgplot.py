@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e")
+_COLORS = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#7f7f7f", "#17becf",
+)
 
 
 @dataclass
@@ -205,6 +208,112 @@ class BarChart:
                     f'<text x="{cx:.1f}" y="{self.height - m + 16}" '
                     f'text-anchor="middle">{label}</text>'
                 )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_svg())
+
+
+@dataclass
+class StackedBarChart:
+    """Vertical bars stacked by category (the latency-waterfall style).
+
+    ``categories`` fixes both the stacking order (bottom-up) and the
+    color assignment, so every bar decomposes the same way; a bar maps
+    each category to its segment height and may omit zero segments.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    categories: list[str]
+    bars: list[tuple[str, dict[str, float]]] = field(default_factory=list)
+    width: int = 720
+    height: int = 400
+    margin: int = 56
+
+    def add_bar(self, label: str, segments: dict[str, float]) -> None:
+        self.bars.append((label, {k: float(v) for k, v in segments.items()}))
+
+    def color(self, category: str) -> str:
+        return _COLORS[self.categories.index(category) % len(_COLORS)]
+
+    def to_svg(self) -> str:
+        m = self.margin
+        plot_w = self.width - 2 * m
+        plot_h = self.height - 2 * m
+        y_max = max(
+            (sum(segments.values()) for __, segments in self.bars),
+            default=0.0,
+        )
+        if y_max <= 0:
+            y_max = 1.0
+        y_max *= 1.08
+
+        def sy(y: float) -> float:
+            return self.height - m - y / y_max * plot_h
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{self.title}</text>',
+            f'<line x1="{m}" y1="{self.height - m}" x2="{self.width - m}" '
+            f'y2="{self.height - m}" stroke="black"/>',
+            f'<line x1="{m}" y1="{m}" x2="{m}" y2="{self.height - m}" '
+            'stroke="black"/>',
+            f'<text x="{self.width / 2}" y="{self.height - 12}" '
+            f'text-anchor="middle">{self.x_label}</text>',
+            f'<text x="16" y="{self.height / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 16 {self.height / 2})">{self.y_label}</text>',
+        ]
+        for i in range(6):
+            y_val = y_max * i / 5
+            y_pix = sy(y_val)
+            parts.append(
+                f'<line x1="{m - 4}" y1="{y_pix:.1f}" x2="{m}" '
+                f'y2="{y_pix:.1f}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{m - 8}" y="{y_pix + 4:.1f}" '
+                f'text-anchor="end">{y_val:g}</text>'
+            )
+        if self.bars:
+            slot = plot_w / len(self.bars)
+            bar_w = max(4.0, slot * 0.6)
+            for index, (label, segments) in enumerate(self.bars):
+                x = m + index * slot + (slot - bar_w) / 2
+                running = 0.0
+                for category in self.categories:
+                    value = segments.get(category, 0.0)
+                    if value <= 0:
+                        continue
+                    top = sy(running + value)
+                    seg_h = sy(running) - top
+                    parts.append(
+                        f'<rect x="{x:.1f}" y="{top:.1f}" '
+                        f'width="{bar_w:.1f}" height="{seg_h:.1f}" '
+                        f'fill="{self.color(category)}"/>'
+                    )
+                    running += value
+                parts.append(
+                    f'<text x="{x + bar_w / 2:.1f}" '
+                    f'y="{self.height - m + 16}" '
+                    f'text-anchor="middle" font-size="10">{label}</text>'
+                )
+        for index, category in enumerate(self.categories):
+            legend_y = self.margin + 8 + index * 16
+            parts.append(
+                f'<rect x="{self.width - m - 120}" y="{legend_y - 8}" '
+                f'width="10" height="10" fill="{self.color(category)}"/>'
+            )
+            parts.append(
+                f'<text x="{self.width - m - 106}" y="{legend_y + 2}">'
+                f'{category}</text>'
+            )
         parts.append("</svg>")
         return "\n".join(parts)
 

@@ -1,0 +1,512 @@
+"""``trace`` CLI — tail-latency attribution for a rollout under chaos.
+
+Runs the mesh chaos scenario (shard-by-shard SET-removal rollout, one
+whole-host crash mid-its-own-rollout) with **per-request tracing** on
+and the ``verify`` trap policy, so post-rollout SET traffic traps into
+the verifier and the traps land inside specific requests' span trees.
+The committed report decomposes every request's wall time into the
+phase vocabulary of :mod:`repro.telemetry.trace` and pins the
+identities the observability layer promises:
+
+* **per-request accounting** — for every trace, the structurally
+  recomputed phase decomposition equals the live accounting and sums
+  exactly to ``wall_ns`` (:func:`~repro.telemetry.attribute_traces`);
+* **count identity** — traced requests == the frontend's ``issued``
+  delta over the workload, and the traced outcome tags reproduce the
+  ``served / failed_over / shed`` split exactly;
+* **causality windows** — ``rewrite-stall`` time appears only in
+  traces that actually carried a rollout step, ``trap`` time appears
+  only between the first rollout step and the end-of-run heal sweep
+  (which SETs through every replica so every shelved block heals at a
+  known offset), and both are non-zero somewhere inside their windows;
+* **tail latency** — p50/p95/p99 are exact nearest-rank percentiles
+  over per-request ``wall_ns`` values, not bucket interpolations.
+
+``--check`` runs one quick 2-shard seed (CI);
+``--check-determinism`` runs the whole campaign twice and requires the
+committed report *and the full span stream* to be byte-identical.
+
+Usage::
+
+    python -m repro.tools.trace_cli [--seeds 2] [--seed-base 900]
+        [--shards 4] [--size 2] [--output FILE]
+        [--check] [--check-determinism]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from random import Random
+
+from ..analysis.dataflow import analyze_image_flow
+from ..faults import FaultPlan
+from ..fleet import FleetPolicy, get_app
+from ..fleet.apps import profile_feature
+from ..kernel import Kernel
+from ..mesh import MeshController, MeshRollout, inject_host_chaos
+from ..telemetry import (
+    PHASES,
+    RequestTracer,
+    TelemetryHub,
+    attribute_traces,
+    percentile,
+    to_trace_jsonl,
+)
+from ..workloads import SECOND_NS, TimelineEvent, run_request_timeline
+from .campaign import run_recorded, write_results
+from .mesh_cli import safe_targets
+from .svgplot import LineChart, StackedBarChart
+
+#: keys seeded before the rollout removes the write path
+KEYSPACE = 32
+#: every Nth workload request is a SET (the post-rollout trap driver)
+SET_EVERY = 8
+#: bounded post-workload settling: mesh ticks until every shard is quiet
+SETTLE_TICKS = 8
+
+
+def campaign_schedule(shards: int, target: int) -> dict[str, float]:
+    """The virtual-time plan (seconds) for one traced campaign.
+
+    Mirrors the mesh chaos scenario — rollout steps at ``2k+0.25`` /
+    ``2k+1.25``, supervision ticks forced on the 3 s marks, the crash
+    at ``2·target+0.5`` — and appends a **heal sweep** strictly after
+    both the last rollout step and the first tick that can recover the
+    crashed host, so every trap (including re-heal traps against the
+    recovered host's committed images) lands before the sweep.
+    """
+    last_step = 2 * (shards - 1) + 1.25
+    crash = 2 * target + 0.5
+    recovery_tick = (int(crash) // 3 + 1) * 3
+    heal = max(last_step, float(recovery_tick)) + 1
+    return {
+        "last_step_s": last_step,
+        "crash_s": crash,
+        "recovery_tick_s": float(recovery_tick),
+        "heal_s": heal,
+        "duration_s": heal + 3,
+    }
+
+
+def window_checks(records: list[dict], spans_by_trace: dict[int, list]) -> dict:
+    """Causality windows over the trace list, by trace index.
+
+    Requests are traced in issue order, so "before the first rollout
+    step" and "after the heal sweep" are index ranges: the stall spans
+    carrying the rollout-step / heal-sweep labels pin the boundaries.
+    """
+    def stall_labels(trace_id: int) -> list[str]:
+        return [
+            str(span.attrs.get("label", ""))
+            for span in spans_by_trace.get(trace_id, [])
+            if span.name == "stall"
+        ]
+
+    step_indices = [
+        index for index, record in enumerate(records)
+        if any(
+            label.startswith("rollout-step")
+            for label in stall_labels(record["trace_id"])
+        )
+    ]
+    heal_indices = [
+        index for index, record in enumerate(records)
+        if "heal-sweep" in stall_labels(record["trace_id"])
+    ]
+    if not step_indices or len(heal_indices) != 1:
+        return {
+            "ok": False,
+            "reason": "rollout-step or heal-sweep stalls missing from traces",
+        }
+    first_step, last_step = step_indices[0], step_indices[-1]
+    heal = heal_indices[0]
+
+    def phase(record: dict, name: str) -> int:
+        return int(record["phases"].get(name, 0))
+
+    trap_before = sum(phase(r, "trap") for r in records[:first_step])
+    trap_after = sum(phase(r, "trap") for r in records[heal + 1:])
+    trap_inside = sum(phase(r, "trap") for r in records[first_step:heal + 1])
+    stall_outside = sum(
+        phase(r, "rewrite-stall")
+        for i, r in enumerate(records)
+        if not first_step <= i <= last_step
+    )
+    stall_inside = sum(
+        phase(r, "rewrite-stall") for r in records[first_step:last_step + 1]
+    )
+    return {
+        "ok": (
+            trap_before == 0 and trap_after == 0 and trap_inside > 0
+            and stall_outside == 0 and stall_inside > 0
+        ),
+        "first_step_index": first_step,
+        "last_step_index": last_step,
+        "heal_index": heal,
+        "trap_ns": {
+            "before_window": trap_before,
+            "inside_window": trap_inside,
+            "after_heal": trap_after,
+        },
+        "rewrite_stall_ns": {
+            "inside_window": stall_inside,
+            "outside_window": stall_outside,
+        },
+    }
+
+
+def run_campaign(args, seed: int, hub: TelemetryHub) -> dict:
+    rng = Random(seed)
+    target = rng.choice(safe_targets(args.shards))
+    schedule = campaign_schedule(args.shards, target)
+    policy = FleetPolicy(
+        features=("SET",),
+        trap_policy="verify",
+        strategy="canary",
+        probe_requests=2,
+        heartbeat_interval_ns=3 * SECOND_NS,
+        shards=args.shards,
+        ring_replicas=32,
+        host_failover_budget=2,
+    )
+    mesh = MeshController("redis", policy, size_per_shard=args.size)
+    hub.bind_clock(lambda: mesh.clock.clock_ns)
+    mesh.spawn_mesh()
+    frontend = mesh.frontend
+    assert frontend is not None
+
+    keys = [f"key-{index}" for index in range(KEYSPACE)]
+    for key in keys:
+        mesh.store(key, f"value-of-{key}")
+
+    rollout = MeshRollout(mesh)
+    duration = schedule["duration_s"]
+    plan = FaultPlan(seed=seed).arm(
+        "mesh.host_crash", "permanent", on_call=target + 1, times=1
+    )
+    events = [
+        TimelineEvent(
+            at_ns=int((2 * step + 0.25) * SECOND_NS),
+            label=f"rollout-step-{step}",
+            action=rollout.step,
+        )
+        for step in range(args.shards)
+    ] + [
+        TimelineEvent(
+            at_ns=int((2 * step + 1.25) * SECOND_NS),
+            label=f"rollout-step-{step}b",
+            action=rollout.step,
+        )
+        for step in range(args.shards)
+    ] + [
+        # forced ticks on the 3 s marks, as in the mesh chaos campaign
+        TimelineEvent(
+            at_ns=second * SECOND_NS, label=f"tick-{second}",
+            action=lambda: mesh.tick(force=True),
+        )
+        for second in range(3, int(duration), 3)
+    ] + [
+        TimelineEvent(
+            at_ns=int(schedule["crash_s"] * SECOND_NS), label="host-chaos",
+            action=lambda: inject_host_chaos(mesh),
+        ),
+        # one SET into every live replica, bypassing the frontend: every
+        # still-shelved block heals here, so traps cannot outlive this
+        # event (and issued-count accounting is untouched)
+        TimelineEvent(
+            at_ns=int(schedule["heal_s"] * SECOND_NS), label="heal-sweep",
+            action=lambda: mesh.probe_replicas("SET __heal__ 1"),
+        ),
+    ]
+
+    request_index = 0
+
+    def request_once() -> bool:
+        nonlocal request_index
+        request_index += 1
+        key = keys[request_index % len(keys)]
+        if request_index % SET_EVERY == 0:
+            # a write against the (eventually removed) SET path: after
+            # the owning shard's rollout this traps into the verifier
+            return mesh.store(key, f"update-{request_index}")
+        return mesh.wanted_request(key=key)
+
+    # baseline heartbeat before traffic, then snapshot the accounting
+    # counters: the workload's traced requests are exactly the issued
+    # delta from here
+    mesh.tick(force=True)
+    issued_before = frontend.issued
+    counters_before = {
+        "served": frontend.served,
+        "failed_over": frontend.failed_over,
+        "shed": frontend.shed,
+    }
+
+    tracer = RequestTracer()
+    with plan:
+        timeline = run_request_timeline(
+            mesh.clock,
+            request_once,
+            duration_ns=int(duration * SECOND_NS),
+            events=events,
+            failover_meter=lambda: frontend.pool.total_failovers,
+            tracer=tracer,
+        )
+        while not rollout.done:
+            rollout.step()
+        for __ in range(SETTLE_TICKS):
+            if mesh.settled:
+                break
+            mesh.clock.clock_ns = (
+                mesh.clock.clock_ns + policy.heartbeat_interval_ns
+            )
+            mesh.tick()
+
+    stats = frontend.stats()
+    attribution = attribute_traces(tracer)
+    records = attribution["requests"]
+    summary = attribution["summary"]
+
+    # count identity: every issued request was traced, with the same
+    # outcome split the frontend accounted
+    issued_delta = stats["issued"] - issued_before
+    outcome_deltas = {
+        outcome: stats[outcome] - counters_before[outcome]
+        for outcome in ("served", "failed_over", "shed")
+    }
+    traced_outcomes = {
+        outcome: summary["outcomes"].get(outcome, 0)
+        for outcome in ("served", "failed_over", "shed")
+    }
+    count_identity_ok = (
+        len(records) == issued_delta == timeline.total_requests
+        and traced_outcomes == outcome_deltas
+    )
+
+    spans_by_trace: dict[int, list] = {}
+    for span in tracer.spans():
+        spans_by_trace.setdefault(span.trace_id, []).append(span)
+    windows = window_checks(records, spans_by_trace)
+
+    walls = tracer.request_walls()
+    ok = (
+        stats["accounted"]
+        and not timeline.errors
+        and summary["identity_violations"] == 0
+        and count_identity_ok
+        and windows["ok"]
+        and summary["latency_ns"] is not None
+        and summary["latency_ns"]["p99"] > 0
+        and all(not ctx.unmatched_traps for ctx in tracer.traces)
+        and mesh.settled
+        and plan.fired == 1
+        and plan.consistent_with_plan()
+    )
+    return {
+        "seed": seed,
+        "crashed_shard": f"host-{target}",
+        "schedule_s": schedule,
+        "ok": ok,
+        "accounted": stats["accounted"],
+        "count_identity_ok": count_identity_ok,
+        "identity_violations": summary["identity_violations"],
+        "windows": windows,
+        "settled": mesh.settled,
+        "faults_fired": plan.fired,
+        "traced": {
+            "requests": len(records),
+            "issued_delta": issued_delta,
+            "outcomes": traced_outcomes,
+            "frontend_outcome_deltas": outcome_deltas,
+            "traps": sum(record["traps"] for record in records),
+            "hops": sum(record["hops"] for record in records),
+        },
+        "latency_ns": summary["latency_ns"],
+        "p99_timeline": p99_timeline(records, walls),
+        "phase_totals_ns": summary["phase_totals_ns"],
+        "frontend": stats,
+        "workload": {
+            "total_requests": timeline.total_requests,
+            "served": sum(point.completed for point in timeline.points),
+            "failed_requests": timeline.failed_requests,
+            "failed_over_requests": timeline.failed_over_requests,
+            "errors": len(timeline.errors),
+        },
+        "_tracer": tracer,
+    }
+
+
+def p99_timeline(records: list[dict], walls: list[int]) -> list[dict]:
+    """Rolling per-second p99 over per-request walls (plot substrate)."""
+    by_second: dict[int, list[int]] = {}
+    for record, wall in zip(records, walls):
+        by_second.setdefault(record["start_ns"] // SECOND_NS, []).append(wall)
+    return [
+        {
+            "second": second,
+            "requests": len(values),
+            "p99_ns": percentile(values, 0.99),
+        }
+        for second, values in sorted(by_second.items())
+    ]
+
+
+def render_figures(output: pathlib.Path, campaign: dict) -> list[pathlib.Path]:
+    """The latency waterfall + p99 timeline SVGs for one campaign."""
+    waterfall = StackedBarChart(
+        title=(
+            f"Slowest requests by phase (seed {campaign['seed']}, "
+            f"crash {campaign['crashed_shard']})"
+        ),
+        x_label="trace id",
+        y_label="wall time (ms)",
+        categories=list(PHASES),
+    )
+    slowest = sorted(
+        campaign["_records"], key=lambda r: r["wall_ns"], reverse=True
+    )[:12]
+    for record in sorted(slowest, key=lambda r: r["trace_id"]):
+        waterfall.add_bar(
+            str(record["trace_id"]),
+            {
+                phase: ns / 1e6
+                for phase, ns in record["phases"].items()
+            },
+        )
+    waterfall_path = output.with_name("trace_latency_waterfall.svg")
+    waterfall.save(waterfall_path)
+
+    timeline = LineChart(
+        title=f"Per-second p99 request wall time (seed {campaign['seed']})",
+        x_label="virtual time (s)",
+        y_label="p99 wall (ms)",
+    )
+    timeline.add_series(
+        "p99",
+        [
+            (point["second"], point["p99_ns"] / 1e6)
+            for point in campaign["p99_timeline"]
+        ],
+    )
+    timeline_path = output.with_name("trace_p99_timeline.svg")
+    timeline.save(timeline_path)
+    return [waterfall_path, timeline_path]
+
+
+def run_all(args) -> tuple[dict, list[TelemetryHub], str]:
+    campaigns = []
+    hubs = []
+    trace_streams: list[str] = []
+    for index in range(args.seeds):
+        seed = args.seed_base + index
+        campaign, hub = run_recorded(
+            f"trace-{seed}", lambda hub: run_campaign(args, seed, hub)
+        )
+        tracer = campaign.pop("_tracer")
+        campaign["_records"] = attribute_traces(tracer)["requests"]
+        trace_streams.append(to_trace_jsonl(tracer))
+        campaigns.append(campaign)
+        hubs.append(hub)
+        latency = campaign["latency_ns"]
+        print(
+            f"seed {seed} [crash {campaign['crashed_shard']}] "
+            f"{'ok' if campaign['ok'] else 'VIOLATED'}: "
+            f"{campaign['traced']['requests']} traced "
+            f"({campaign['traced']['traps']} traps, "
+            f"{campaign['traced']['hops']} hops), "
+            f"{campaign['identity_violations']} identity violations, "
+            f"p99 {latency['p99'] / 1e6:.2f} ms"
+        )
+    clean = all(campaign["ok"] for campaign in campaigns)
+    payload = {
+        "shards": args.shards,
+        "size_per_shard": args.size,
+        "routing": "hash",
+        "trap_policy": "verify",
+        "clean": clean,
+        "campaigns_total": len(campaigns),
+        "campaigns_ok": sum(1 for campaign in campaigns if campaign["ok"]),
+        "campaigns": campaigns,
+    }
+    return payload, hubs, "".join(trace_streams)
+
+
+def strip_private(payload: dict) -> dict:
+    """Drop the in-memory record lists before committing the report."""
+    committed = dict(payload)
+    committed["campaigns"] = [
+        {k: v for k, v in campaign.items() if not k.startswith("_")}
+        for campaign in payload["campaigns"]
+    ]
+    return committed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="trace")
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--seed-base", type=int, default=900)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--size", type=int, default=2,
+                        help="instances per shard")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=pathlib.Path("results/trace_attribution.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="one quick 2-shard seed (CI)")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run twice; require byte-identical exports")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.check:
+        args.shards, args.size, args.seeds = 2, 2, 1
+    if args.shards < 2:
+        print("trace: --shards must be >= 2 (a crash needs a survivor)")
+        return 2
+    if args.size < 2:
+        print("trace: --size must be >= 2 (the crash lands between the "
+              "canary batch and the rolling batch)")
+        return 2
+    # warm the process-wide profiling and flow caches outside the
+    # recorded campaigns (see mesh_cli: a cold cache would make run one
+    # emit extra spans and break the determinism comparison)
+    app = get_app("redis")
+    for feature in app.features:
+        profile_feature(app, feature)
+    scratch = Kernel()
+    app.stage(scratch, app.default_port)
+    for binary in scratch.binaries.values():
+        analyze_image_flow(binary)
+
+    payload, hubs, trace_stream = run_all(args)
+    if args.check_determinism:
+        replay_payload, __, replay_stream = run_all(args)
+        summary = json.dumps(strip_private(payload), sort_keys=True)
+        replay = json.dumps(strip_private(replay_payload), sort_keys=True)
+        if summary != replay or trace_stream != replay_stream:
+            print("DETERMINISM VIOLATED: re-run diverged "
+                  f"(report match={summary == replay}, "
+                  f"spans match={trace_stream == replay_stream})")
+            return 1
+        print(f"determinism: byte-identical re-export "
+              f"({len(trace_stream.splitlines())} spans)")
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    figures = render_figures(args.output, payload["campaigns"][0])
+    committed = strip_private(payload)
+    spans_path = args.output.with_suffix(".spans.jsonl")
+    spans_path.write_text(trace_stream)
+    print(f"figures -> {', '.join(str(path) for path in figures)} "
+          f"(spans -> {spans_path})")
+    return write_results(
+        args.output, committed, hubs, committed["clean"],
+        banner=f"({committed['campaigns_ok']}/{committed['campaigns_total']})",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from .. import telemetry
+from ..telemetry import RequestTracer
 
 SECOND_NS = 1_000_000_000
 
@@ -95,6 +96,7 @@ def run_request_timeline(
     max_requests: int = 1_000_000,
     tolerate_errors: bool = True,
     failover_meter: Callable[[], int] | None = None,
+    tracer: RequestTracer | None = None,
 ) -> TimelineResult:
     """Drive ``request_once`` in a closed loop for ``duration_ns``.
 
@@ -117,6 +119,18 @@ def run_request_timeline(
     — served, but only because the balancer routed around a dead
     backend.  Failovers are accounted separately from failures: the
     accounting identity ``total = sum(buckets) + failed`` still holds.
+
+    With a ``tracer`` (a :class:`~repro.telemetry.RequestTracer`) every
+    loop iteration runs under its own
+    :class:`~repro.telemetry.TraceContext`: due timeline events fire
+    *inside* the context as ``stall`` spans (closed-loop honesty — the
+    request that waited for a rewrite is the one that pays for it), the
+    request itself is a ``dispatch`` leg, and the error nudge is a
+    ``shed`` span, so every virtual nanosecond the loop advances is
+    attributed to exactly one request phase.  Tracing never changes the
+    virtual timeline: the same seed produces the same buckets, events,
+    and final clock with tracing on or off (pinned by the overhead
+    benchmark).
     """
     events = sorted(events or [], key=lambda e: e.at_ns)
     pending = list(events)
@@ -126,21 +140,47 @@ def run_request_timeline(
     buckets: dict[int, int] = {}
 
     while kernel.clock_ns < end and result.total_requests < max_requests:
-        while pending and kernel.clock_ns - start >= pending[0].at_ns:
-            event = pending.pop(0)
-            event.action()
-            result.events_fired.append((kernel.clock_ns - start, event.label))
-        meter_before = failover_meter() if failover_meter is not None else 0
+        context = (
+            tracer.begin(
+                lambda: kernel.clock_ns, index=result.total_requests
+            )
+            if tracer is not None
+            else None
+        )
+        ok = False
         try:
-            ok = request_once()
-        except Exception as exc:  # noqa: BLE001 — failed request, not a bug
-            if not tolerate_errors:
-                raise
-            ok = False
-            result.errors.append((kernel.clock_ns - start, repr(exc)))
-            # a synchronous refusal burns no guest work; charge one
-            # kernel entry so an all-backends-down window still ends
-            kernel.clock_ns += kernel.config.syscall_cost_ns
+            while pending and kernel.clock_ns - start >= pending[0].at_ns:
+                event = pending.pop(0)
+                if context is not None:
+                    with context.stall(event.label):
+                        event.action()
+                else:
+                    event.action()
+                result.events_fired.append(
+                    (kernel.clock_ns - start, event.label)
+                )
+            meter_before = failover_meter() if failover_meter is not None else 0
+            try:
+                if context is not None:
+                    with context.leg("dispatch"):
+                        ok = request_once()
+                else:
+                    ok = request_once()
+            except Exception as exc:  # noqa: BLE001 — failed request, not a bug
+                if not tolerate_errors:
+                    raise
+                ok = False
+                result.errors.append((kernel.clock_ns - start, repr(exc)))
+                # a synchronous refusal burns no guest work; charge one
+                # kernel entry so an all-backends-down window still ends
+                if context is not None:
+                    with context.aux("error-nudge", "shed"):
+                        kernel.clock_ns += kernel.config.syscall_cost_ns
+                else:
+                    kernel.clock_ns += kernel.config.syscall_cost_ns
+        finally:
+            if context is not None:
+                tracer.finish(context, ok=ok)
         if failover_meter is not None:
             delta = failover_meter() - meter_before
             if delta > 0:

@@ -14,6 +14,7 @@ import pytest
 from repro.faults import FaultPlan
 from repro.kernel.balancer import NoBackendAvailable
 from repro.mesh import Frontend, HashRing, MeshError
+from repro.telemetry import TelemetryHub, recording
 
 
 class StubClock:
@@ -184,6 +185,38 @@ class TestHashRouting:
             )
             assert landed == [ring.shard_for(key)]
         assert frontend.stats()["accounted"]
+
+
+class TestShedAttribution:
+    def test_shed_counter_carries_primary_shard_label(self):
+        # shed requests keep their per-shard identity: the counter is
+        # attributed to the shard that would have served the key
+        hosts, frontend = make_frontend(n=2, mode="hash", budget=0, replicas=8)
+        ring = HashRing(8, shards=[0, 1])
+        key = next(f"k{i}" for i in range(20) if ring.shard_for(f"k{i}") == 0)
+        hosts[0].serving = False
+        hosts[1].serving = False
+        hub = TelemetryHub()
+        with recording(hub):
+            with pytest.raises(NoBackendAvailable, match="mesh failover budget"):
+                frontend.dispatch(lambda host: host.serve(), key=key)
+        assert hub.registry.counters_by_label("mesh_shed_total", "shard") == {
+            "host-0": 1
+        }
+
+    def test_shed_before_any_candidate_is_labeled_none(self):
+        # every host already marked down: no candidate was ever picked,
+        # so there is no primary shard to attribute the shed to
+        hosts, frontend = make_frontend(n=2)
+        frontend.mark_host_down(0)
+        frontend.mark_host_down(1)
+        hub = TelemetryHub()
+        with recording(hub):
+            with pytest.raises(NoBackendAvailable):
+                frontend.dispatch(lambda host: host.serve())
+        assert hub.registry.counters_by_label("mesh_shed_total", "shard") == {
+            "none": 1
+        }
 
 
 class TestUnreachableFaultSite:

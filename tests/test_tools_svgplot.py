@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 
-from repro.tools.svgplot import BarChart, LineChart
+import pytest
+
+from repro.tools.svgplot import BarChart, LineChart, StackedBarChart
 
 
 def _chart() -> LineChart:
@@ -130,4 +132,87 @@ class TestBarChart:
     def test_save(self, tmp_path):
         path = tmp_path / "bars.svg"
         _bars().save(path)
+        assert path.read_text().startswith("<svg")
+
+
+def _stacked() -> StackedBarChart:
+    chart = StackedBarChart(
+        "Tail latency by phase", "request", "ms",
+        categories=["serve", "trap", "rewrite-stall"],
+    )
+    chart.add_bar("r-01", {"serve": 3.0, "trap": 1.0, "rewrite-stall": 6.0})
+    chart.add_bar("r-02", {"serve": 2.0, "trap": 0.0})
+    chart.add_bar("r-03", {"serve": 1.5})
+    return chart
+
+
+class TestStackedBarChart:
+    def test_output_is_wellformed_xml(self):
+        root = ET.fromstring(_stacked().to_svg())
+        assert root.tag.endswith("svg")
+
+    def test_title_axis_and_bar_labels_present(self):
+        svg = _stacked().to_svg()
+        assert "Tail latency by phase" in svg
+        assert "request" in svg and "ms" in svg
+        assert ">r-01</text>" in svg and ">r-03</text>" in svg
+
+    def test_zero_segments_are_omitted(self):
+        chart = _stacked()
+        svg = chart.to_svg()
+        # 1 background + 3 legend swatches + 5 non-zero segments
+        # (r-01 contributes three, r-02's zero trap is dropped)
+        assert svg.count("<rect") == 1 + len(chart.categories) + 5
+
+    def test_segments_stack_without_overlap(self):
+        chart = _stacked()
+        root = ET.fromstring(chart.to_svg())
+        ns = root.tag.split("}")[0] + "}" if "}" in root.tag else ""
+        rects = list(root.iter(f"{ns}rect"))[1:]
+        segments = [r for r in rects if float(r.get("width")) > 10]
+        by_x: dict[float, list] = {}
+        for rect in segments:
+            by_x.setdefault(float(rect.get("x")), []).append(rect)
+        assert len(by_x) == 3                    # one column per bar
+        tall = max(by_x.values(), key=len)       # r-01's three segments
+        assert len(tall) == 3
+        # stacked bottom-up: each segment's top is the next one's bottom
+        stack = sorted(tall, key=lambda r: -float(r.get("y")))
+        for below, above in zip(stack, stack[1:]):
+            bottom_of_above = float(above.get("y")) + float(above.get("height"))
+            assert bottom_of_above == pytest.approx(float(below.get("y")), abs=0.11)
+
+    def test_stack_height_tracks_phase_sum(self):
+        chart = _stacked()
+        root = ET.fromstring(chart.to_svg())
+        ns = root.tag.split("}")[0] + "}" if "}" in root.tag else ""
+        rects = list(root.iter(f"{ns}rect"))[1:]
+        segments = [r for r in rects if float(r.get("width")) > 10]
+        by_x: dict[float, float] = {}
+        for rect in segments:
+            x = float(rect.get("x"))
+            by_x[x] = by_x.get(x, 0.0) + float(rect.get("height"))
+        totals = [h for __, h in sorted(by_x.items())]
+        # bar sums 10.0 / 2.0 / 1.5 → pixel heights in proportion
+        assert totals[0] > totals[1] > totals[2]
+        assert totals[0] / totals[2] == pytest.approx(10.0 / 1.5, rel=0.05)
+
+    def test_legend_lists_every_category_in_order(self):
+        chart = _stacked()
+        svg = chart.to_svg()
+        positions = [svg.index(f">{c}</text>") for c in chart.categories]
+        assert positions == sorted(positions)
+
+    def test_categories_get_distinct_colors(self):
+        chart = _stacked()
+        colors = {chart.color(c) for c in chart.categories}
+        assert len(colors) == len(chart.categories)
+
+    def test_empty_chart_renders(self):
+        chart = StackedBarChart("empty", "x", "y", categories=["a"])
+        ET.fromstring(chart.to_svg())
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "stack.svg"
+        _stacked().save(path)
         assert path.read_text().startswith("<svg")
